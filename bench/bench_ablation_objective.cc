@@ -1,0 +1,79 @@
+// Ablation — output perturbation (ours) vs objective perturbation (CMS11,
+// the paper's [13]), the classic ε-DP alternative §5 surveys.
+//
+// Expected shape: at larger ε both reach noiseless-level accuracy;
+// objective perturbation's noise enters before optimization (the model
+// adapts around it), so it can edge ahead at tiny ε — BUT its guarantee
+// assumes the exact minimizer is released, which no SGD system produces
+// (the paper's core criticism); the bolt-on guarantee holds for whatever
+// the black box returns. This bench quantifies the accuracy side of that
+// trade on the Protein-like workload.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/objective_perturbation.h"
+#include "core/private_sgd.h"
+
+namespace bolton {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  CommonFlags flags;
+  flags.Parse(argc, argv, "bench_ablation_objective").CheckOK();
+  const int repeats = static_cast<int>(flags.repeats);
+
+  auto data = LoadBenchData("protein", flags.scale, flags.seed);
+  data.status().CheckOK();
+  const Dataset& train = data.value().train;
+  const Dataset& test = data.value().test;
+  const double lambda = 0.01;
+
+  std::printf("== Ablation: output vs objective perturbation "
+              "(protein-like, m=%zu, lambda=%g, eps-DP) ==\n\n",
+              train.size(), lambda);
+  std::printf("  %-8s %-16s %-16s %-12s\n", "epsilon", "output-pert(ours)",
+              "objective-pert", "noiseless");
+
+  auto loss = MakeLogisticLoss(lambda, 1.0 / lambda).MoveValue();
+  for (double epsilon : EpsilonGridFor("protein")) {
+    double ours_total = 0.0, objective_total = 0.0;
+    double noiseless = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      BoltOnOptions ours;
+      ours.privacy = PrivacyParams{epsilon, 0.0};
+      ours.passes = 10;
+      ours.batch_size = 50;
+      Rng rng_ours(flags.seed + 100 * r);
+      auto ours_out = PrivateStronglyConvexPsgd(train, *loss, ours,
+                                                &rng_ours);
+      ours_out.status().CheckOK();
+      ours_total += BinaryAccuracy(ours_out.value().model, test);
+      noiseless = BinaryAccuracy(ours_out.value().noiseless_model, test);
+
+      ObjectivePerturbationOptions objective;
+      objective.epsilon = epsilon;
+      objective.lambda = lambda;
+      objective.passes = 10;
+      objective.batch_size = 50;
+      Rng rng_objective(flags.seed + 100 * r + 7);
+      auto objective_out =
+          RunObjectivePerturbation(train, objective, &rng_objective);
+      objective_out.status().CheckOK();
+      objective_total += BinaryAccuracy(objective_out.value().model, test);
+    }
+    std::printf("  %-8.3g %-16.4f %-16.4f %-12.4f\n", epsilon,
+                ours_total / repeats, objective_total / repeats, noiseless);
+  }
+  std::printf("\nCaveat (paper §5): objective perturbation's guarantee "
+              "assumes the EXACT minimizer; this run approximates it with "
+              "10 PSGD passes, so its epsilon is heuristic. Ours holds for "
+              "whatever the black box returns.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolton
+
+int main(int argc, char** argv) { return bolton::bench::Run(argc, argv); }

@@ -1,0 +1,201 @@
+#ifndef BOLTON_BENCH_BENCH_COMMON_H_
+#define BOLTON_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the per-figure/per-table benchmark binaries.
+//
+// Every accuracy bench reproduces one figure of the paper by printing its
+// series as aligned text rows. Dataset sizes default to laptop-friendly
+// scales (minutes for the full suite); pass --scale to grow them toward the
+// paper's sizes. Seeds are fixed so runs are reproducible.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/privacy.h"
+#include "data/dataset.h"
+#include "data/projection.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace bench {
+
+/// The four test scenarios of §4.3.
+struct TestScenario {
+  int id;                 // 1..4
+  bool strongly_convex;   // tests 3, 4
+  bool approx_dp;         // tests 2, 4 ((ε,δ)-DP)
+  const char* label;
+};
+
+inline const std::vector<TestScenario>& AllScenarios() {
+  static const std::vector<TestScenario> kScenarios = {
+      {1, false, false, "Test1: Convex, eps-DP"},
+      {2, false, true, "Test2: Convex, (eps,delta)-DP"},
+      {3, true, false, "Test3: Strongly Convex, eps-DP"},
+      {4, true, true, "Test4: Strongly Convex, (eps,delta)-DP"},
+  };
+  return kScenarios;
+}
+
+/// The ε grids of §4.3: multiclass MNIST uses 10× larger budgets because
+/// the budget is split across 10 one-vs-all models.
+inline std::vector<double> EpsilonGridFor(const std::string& dataset) {
+  if (dataset == "mnist") return {0.1, 0.2, 0.5, 1.0, 2.0, 4.0};
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
+}
+
+/// δ = 1/m² (§4.3).
+inline double DeltaFor(size_t m) {
+  double md = static_cast<double>(m);
+  return 1.0 / (md * md);
+}
+
+/// A loaded benchmark dataset: train/test plus bookkeeping.
+struct BenchData {
+  std::string name;
+  Dataset train;
+  Dataset test;
+  bool multiclass = false;
+};
+
+/// Default scaled-down sizes per dataset so the full bench suite stays
+/// fast; --scale multiplies all of them.
+inline double DefaultScaleFor(const std::string& dataset) {
+  if (dataset == "mnist") return 0.25;      // 15000 / 2500, d=784→50
+  // (MNIST needs the largest default: its ε splits 10 ways across the
+  // one-vs-all models, so small m drowns every private algorithm in noise.)
+  if (dataset == "protein") return 0.20;    // 7287 / 7287
+  if (dataset == "covertype") return 0.02;  // 9960 / 1660
+  if (dataset == "higgs") return 0.002;     // 21000 / 1000
+  if (dataset == "kddcup") return 0.02;     // 9880 / 6220
+  return 0.05;
+}
+
+/// Generates a dataset by name at `scale_multiplier` × its default scale,
+/// applying the paper's 784 → 50 random projection for MNIST.
+inline Result<BenchData> LoadBenchData(const std::string& name,
+                                       double scale_multiplier,
+                                       uint64_t seed) {
+  BOLTON_ASSIGN_OR_RETURN(
+      auto split,
+      GenerateByName(name, DefaultScaleFor(name) * scale_multiplier, seed));
+  BenchData out;
+  out.name = name;
+  out.multiclass = name == "mnist";
+  if (out.multiclass) {
+    BOLTON_ASSIGN_OR_RETURN(
+        auto projection,
+        GaussianRandomProjection::Create(784, 50, seed + 1));
+    BOLTON_ASSIGN_OR_RETURN(out.train, projection.Apply(split.first));
+    BOLTON_ASSIGN_OR_RETURN(out.test, projection.Apply(split.second));
+  } else {
+    out.train = std::move(split.first);
+    out.test = std::move(split.second);
+  }
+  return out;
+}
+
+/// Trains per the config (binary or one-vs-all as the data demands) and
+/// returns test accuracy.
+inline Result<double> TrainAndScore(const BenchData& data,
+                                    const TrainerConfig& config, Rng* rng) {
+  if (data.multiclass) {
+    BOLTON_ASSIGN_OR_RETURN(MulticlassModel model,
+                            TrainMulticlass(data.train, config, rng));
+    return MulticlassAccuracy(model, data.test);
+  }
+  BOLTON_ASSIGN_OR_RETURN(Vector model, TrainBinary(data.train, config, rng));
+  return BinaryAccuracy(model, data.test);
+}
+
+/// The Figure 3 / Figure 6 row config: λ = 1e-4 where applicable, b = 50,
+/// k = 10 passes (the Figure 3 caption's fixed values).
+inline TrainerConfig ScenarioConfig(const TestScenario& scenario,
+                                    Algorithm algorithm, double epsilon,
+                                    size_t m) {
+  TrainerConfig config;
+  config.algorithm = algorithm;
+  config.lambda = scenario.strongly_convex ? 1e-4 : 0.0;
+  config.passes = 10;
+  config.batch_size = 50;
+  config.privacy.epsilon = epsilon;
+  config.privacy.delta = scenario.approx_dp ? DeltaFor(m) : 0.0;
+  return config;
+}
+
+/// Which algorithms a scenario compares (BST14 needs δ > 0).
+inline std::vector<Algorithm> AlgorithmsFor(const TestScenario& scenario) {
+  std::vector<Algorithm> algos = {Algorithm::kNoiseless, Algorithm::kBoltOn,
+                                  Algorithm::kScs13};
+  if (scenario.approx_dp) algos.push_back(Algorithm::kBst14);
+  return algos;
+}
+
+/// Prints one aligned accuracy row: epsilon followed by per-algorithm
+/// columns (blank for algorithms a scenario does not support).
+inline void PrintAccuracyHeader() {
+  std::printf("  %-8s %-10s %-10s %-10s %-10s\n", "epsilon", "noiseless",
+              "ours", "scs13", "bst14");
+}
+
+inline void PrintAccuracyRow(double epsilon,
+                             const std::vector<double>& accuracies,
+                             bool has_bst14) {
+  std::printf("  %-8.3g %-10.4f %-10.4f %-10.4f ", epsilon, accuracies[0],
+              accuracies[1], accuracies[2]);
+  if (has_bst14) {
+    std::printf("%-10.4f\n", accuracies[3]);
+  } else {
+    std::printf("%-10s\n", "-");
+  }
+}
+
+/// Standard flags shared by the accuracy benches.
+struct CommonFlags {
+  double scale = 1.0;    // multiplies the per-dataset default scale
+  int64_t repeats = 3;   // accuracy is averaged over this many seeds
+  int64_t seed = 7;
+  std::string datasets = "mnist,protein,covertype";
+
+  Status Parse(int argc, char** argv, const char* program) {
+    FlagParser parser;
+    parser.AddDouble("scale", &scale,
+                     "multiplier on the default dataset scale");
+    parser.AddInt("repeats", &repeats, "seeds to average accuracy over");
+    parser.AddInt("seed", &seed, "base RNG seed");
+    parser.AddString("datasets", &datasets, "comma-separated dataset list");
+    BOLTON_RETURN_IF_ERROR(parser.Parse(argc, argv));
+    if (parser.help_requested()) {
+      parser.PrintHelp(program);
+      std::exit(0);
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::string> DatasetList() const {
+    return StrSplit(datasets, ',');
+  }
+};
+
+/// Mean test accuracy over `repeats` seeds.
+inline Result<double> MeanAccuracy(const BenchData& data,
+                                   const TrainerConfig& config, int repeats,
+                                   uint64_t seed_base) {
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Rng rng(seed_base + 1000 * r);
+    BOLTON_ASSIGN_OR_RETURN(double acc, TrainAndScore(data, config, &rng));
+    total += acc;
+  }
+  return total / repeats;
+}
+
+}  // namespace bench
+}  // namespace bolton
+
+#endif  // BOLTON_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,111 @@
+// Figure 2 — scalability of the (ε,δ)-DP SGD algorithms inside the engine:
+// per-epoch runtime as the number of examples grows, for (a) in-memory
+// tables and (b) disk-backed tables. Mini-batch size 1 (the paper's
+// setting, which maximizes the white-box algorithms' noise-sampling
+// overhead), d = 50, ε = 0.1, λ = 1e-4, strongly convex.
+//
+// Expected shape (paper): all four curves are linear in m. In memory,
+// SCS13 and BST14 sit well above Noiseless/Ours (per-update noise sampling
+// dominates CPU); on disk all curves converge because I/O dominates and is
+// identical across algorithms. "Ours" tracks Noiseless exactly.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "engine/driver.h"
+#include "random/distributions.h"
+#include "random/dp_noise.h"
+#include "util/stopwatch.h"
+
+namespace bolton {
+namespace bench {
+namespace {
+
+// Per-update white-box noise with a fixed configuration; the runtime cost,
+// not the calibration, is what Figure 2 measures.
+class Scs13StyleNoise final : public GradientNoiseSource {
+ public:
+  Result<Vector> Sample(size_t, size_t dim, Rng* rng) override {
+    return SampleSphericalLaplace(dim, 0.04, 0.01, rng);
+  }
+};
+
+class Bst14StyleNoise final : public GradientNoiseSource {
+ public:
+  Result<Vector> Sample(size_t, size_t dim, Rng* rng) override {
+    return SampleGaussianVector(dim, 0.5, rng);
+  }
+};
+
+double EpochSeconds(Table* table, const LossFunction& loss, bool bolt_on,
+                    GradientNoiseSource* noise, uint64_t seed) {
+  auto schedule =
+      MakeInverseTimeStep(loss.strong_convexity(), loss.smoothness())
+          .MoveValue();
+  DriverOptions options;
+  options.max_epochs = 1;
+  options.batch_size = 1;
+  options.radius = loss.radius();
+  Rng rng(seed);
+  auto out = RunSgdDriver(table, loss, *schedule, options, &rng, noise);
+  out.status().CheckOK();
+  double seconds = out.value().epoch_seconds[0];
+  if (bolt_on) {
+    // Ours adds exactly one draw after the run; include it for honesty.
+    Stopwatch watch;
+    Rng noise_rng(seed + 1);
+    SampleSphericalLaplace(table->dim(), 1e-4, 0.1, &noise_rng)
+        .status()
+        .CheckOK();
+    seconds += watch.ElapsedSeconds();
+  }
+  return seconds;
+}
+
+void RunPanel(const char* title, StorageMode mode,
+              const std::vector<size_t>& sizes, uint64_t seed) {
+  std::printf("%s\n", title);
+  std::printf("  %-10s %-12s %-12s %-12s %-12s\n", "m", "noiseless",
+              "ours", "scs13", "bst14");
+  auto loss = MakeLogisticLoss(1e-4, 1e4).MoveValue();
+  for (size_t m : sizes) {
+    Dataset data = GenerateTwoGaussians(m, 50, 1.5, seed + m).MoveValue();
+    std::string spill =
+        StrFormat("/tmp/bolton_fig2_%zu.bin", m);
+    auto table = MakeTable(data, mode, spill, 4096).MoveValue();
+
+    Scs13StyleNoise scs13;
+    Bst14StyleNoise bst14;
+    double t_noiseless =
+        EpochSeconds(table.get(), *loss, false, nullptr, seed);
+    double t_ours = EpochSeconds(table.get(), *loss, true, nullptr, seed);
+    double t_scs13 = EpochSeconds(table.get(), *loss, false, &scs13, seed);
+    double t_bst14 = EpochSeconds(table.get(), *loss, false, &bst14, seed);
+    std::printf("  %-10zu %-12.4f %-12.4f %-12.4f %-12.4f\n", m, t_noiseless,
+                t_ours, t_scs13, t_bst14);
+  }
+}
+
+int Run(int argc, char** argv) {
+  CommonFlags flags;
+  flags.Parse(argc, argv, "bench_fig2_scalability").CheckOK();
+
+  std::printf("== Figure 2: Scalability (per-epoch runtime, seconds; "
+              "b=1, d=50, strongly convex (eps,delta)-DP) ==\n\n");
+  std::vector<size_t> sizes;
+  for (size_t base : {25000, 50000, 100000, 200000}) {
+    sizes.push_back(static_cast<size_t>(base * flags.scale));
+  }
+  RunPanel("(a) In-memory table", StorageMode::kMemory, sizes, flags.seed);
+  std::printf("\n");
+  RunPanel("(b) Disk-backed table (paged scans + external shuffle)",
+           StorageMode::kDisk, sizes, flags.seed + 1);
+  std::printf("\nShape check: runtimes grow linearly in m; SCS13/BST14 carry "
+              "per-update sampling overhead that Ours avoids entirely.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolton
+
+int main(int argc, char** argv) { return bolton::bench::Run(argc, argv); }

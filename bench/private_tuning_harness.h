@@ -1,0 +1,130 @@
+#ifndef BOLTON_BENCH_PRIVATE_TUNING_HARNESS_H_
+#define BOLTON_BENCH_PRIVATE_TUNING_HARNESS_H_
+
+// Shared driver for the privately-tuned accuracy figures (Figures 6, 7,
+// and 9): splits the data, trains one candidate per portion, selects with
+// the exponential mechanism (Algorithm 3), and averages test accuracy over
+// seeds. Parameterized on the model family so the logistic (Fig. 6) and
+// Huber SVM (Fig. 7) variants share one implementation.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/private_tuning.h"
+
+namespace bolton {
+namespace bench {
+
+inline std::vector<TuningCandidate> TuningGridFor(
+    const TestScenario& scenario) {
+  if (scenario.strongly_convex) {
+    // The paper's grid: k ∈ {5, 10}, λ ∈ {1e-4, 1e-3, 1e-2}, b fixed at 50.
+    return MakeTuningGrid({5, 10}, {50}, {1e-4, 1e-3, 1e-2});
+  }
+  // λ is not applicable in the convex tests; tune k only.
+  return MakeTuningGrid({5, 10}, {50}, {0.0});
+}
+
+/// Algorithm-3-tuned test accuracy for a binary dataset.
+inline Result<double> PrivateTunedBinaryAccuracy(
+    const BenchData& data, const TestScenario& scenario, Algorithm algorithm,
+    ModelKind model_kind, double epsilon, int repeats, uint64_t seed_base) {
+  const size_t m = data.train.size();
+  const std::vector<TuningCandidate> grid = TuningGridFor(scenario);
+  TuningTrainFn train = [&](const Dataset& portion,
+                            const TuningCandidate& candidate,
+                            Rng* rng) -> Result<Vector> {
+    TrainerConfig config = ScenarioConfig(scenario, algorithm, epsilon, m);
+    config.model = model_kind;
+    config.lambda = candidate.lambda;
+    config.passes = candidate.passes;
+    config.batch_size = std::min(candidate.batch_size, portion.size());
+    return TrainBinary(portion, config, rng);
+  };
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Rng rng(seed_base + 1000 * r);
+    PrivacyParams budget{epsilon, scenario.approx_dp ? DeltaFor(m) : 0.0};
+    BOLTON_ASSIGN_OR_RETURN(
+        TuningOutput out,
+        PrivatelyTunedSgd(data.train, grid, budget, train, &rng));
+    total += BinaryAccuracy(out.model, data.test);
+  }
+  return total / repeats;
+}
+
+/// Algorithm-3-tuned test accuracy for the one-vs-all multiclass case
+/// (MNIST), composed around the exposed exponential-mechanism selector.
+inline Result<double> PrivateTunedMulticlassAccuracy(
+    const BenchData& data, const TestScenario& scenario, Algorithm algorithm,
+    ModelKind model_kind, double epsilon, int repeats, uint64_t seed_base) {
+  const size_t m = data.train.size();
+  const std::vector<TuningCandidate> grid = TuningGridFor(scenario);
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Rng rng(seed_base + 1000 * r);
+    std::vector<Dataset> portions = data.train.SplitEven(grid.size() + 1);
+    const Dataset& holdout = portions.back();
+    std::vector<MulticlassModel> models;
+    std::vector<size_t> errors;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      TrainerConfig config = ScenarioConfig(scenario, algorithm, epsilon, m);
+      config.model = model_kind;
+      config.lambda = grid[i].lambda;
+      config.passes = grid[i].passes;
+      config.batch_size = std::min(grid[i].batch_size, portions[i].size());
+      Rng sub_rng = rng.Split();
+      BOLTON_ASSIGN_OR_RETURN(MulticlassModel model,
+                              TrainMulticlass(portions[i], config, &sub_rng));
+      size_t wrong = 0;
+      for (size_t j = 0; j < holdout.size(); ++j) {
+        if (model.Predict(holdout[j].x) != holdout[j].label) ++wrong;
+      }
+      errors.push_back(wrong);
+      models.push_back(std::move(model));
+    }
+    size_t chosen = SampleExponentialMechanism(errors, epsilon, &rng);
+    total += MulticlassAccuracy(models[chosen], data.test);
+  }
+  return total / repeats;
+}
+
+/// Prints one full figure (every dataset × scenario × ε) for the given
+/// model family.
+inline void RunPrivateTunedFigure(const CommonFlags& flags,
+                                  ModelKind model_kind) {
+  const int repeats = static_cast<int>(flags.repeats);
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto data = LoadBenchData(dataset, flags.scale, flags.seed);
+    data.status().CheckOK();
+    std::printf("\n-- %s (m=%zu, d=%zu) --\n", dataset.c_str(),
+                data.value().train.size(), data.value().train.dim());
+
+    for (const TestScenario& scenario : AllScenarios()) {
+      std::printf("%s\n", scenario.label);
+      PrintAccuracyHeader();
+      for (double epsilon : EpsilonGridFor(dataset)) {
+        std::vector<double> accuracies;
+        for (Algorithm algorithm : AlgorithmsFor(scenario)) {
+          Result<double> acc =
+              data.value().multiclass
+                  ? PrivateTunedMulticlassAccuracy(
+                        data.value(), scenario, algorithm, model_kind,
+                        epsilon, repeats, flags.seed + 10 * scenario.id)
+                  : PrivateTunedBinaryAccuracy(
+                        data.value(), scenario, algorithm, model_kind,
+                        epsilon, repeats, flags.seed + 10 * scenario.id);
+          acc.status().CheckOK();
+          accuracies.push_back(acc.value());
+        }
+        PrintAccuracyRow(epsilon, accuracies, scenario.approx_dp);
+      }
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace bolton
+
+#endif  // BOLTON_BENCH_PRIVATE_TUNING_HARNESS_H_

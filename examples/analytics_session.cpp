@@ -1,0 +1,92 @@
+// A private analytics session — the multi-query story of §4.6.
+//
+// A deployed in-RDBMS analytics system answers MANY private queries
+// against the same table, and the total privacy loss composes. This
+// example runs a session end to end:
+//
+//   1. register the training table in the engine's catalog,
+//   2. open a PrivacyAccountant with the session's total (ε, δ) budget,
+//   3. answer a private COUNT, a private feature-mean vector, and train a
+//      private model, charging each release to the accountant,
+//   4. show the accountant refusing a query that would overspend.
+#include <cstdio>
+
+#include "core/accountant.h"
+#include "data/synthetic.h"
+#include "engine/bolt_on_driver.h"
+#include "engine/catalog.h"
+#include "engine/private_aggregates.h"
+#include "ml/metrics.h"
+#include "util/flags.h"
+
+using namespace bolton;
+
+int main(int argc, char** argv) {
+  double total_epsilon = 1.0;
+  FlagParser flags;
+  flags.AddDouble("budget", &total_epsilon, "session-wide epsilon budget");
+  flags.Parse(argc, argv).CheckOK();
+  if (flags.help_requested()) {
+    flags.PrintHelp("analytics_session");
+    return 0;
+  }
+
+  // 1. The catalog holds the session's tables.
+  auto split = GenerateCovertypeLike(/*scale=*/0.03, /*seed=*/61);
+  split.status().CheckOK();
+  Catalog catalog;
+  catalog.CreateTable("forest", split.value().first, StorageMode::kMemory)
+      .CheckOK();
+  Table* table = catalog.Get("forest").MoveValue();
+  std::printf("catalog tables:");
+  for (const auto& name : catalog.ListTables()) {
+    std::printf(" %s(%zu rows)", name.c_str(), table->num_rows());
+  }
+  std::printf("\n");
+
+  // 2. One budget for the whole session.
+  PrivacyAccountant accountant(PrivacyParams{total_epsilon, 0.0});
+  Rng rng(62);
+
+  // 3a. Private COUNT (cheap: spend 5% of the budget).
+  PrivacyParams count_budget{0.05 * total_epsilon, 0.0};
+  accountant.Charge(count_budget, "count(forest)").CheckOK();
+  auto count = PrivateCount(*table, count_budget, &rng);
+  count.status().CheckOK();
+  std::printf("private COUNT  : %.1f (true %zu)\n", count.value().noisy,
+              table->num_rows());
+
+  // 3b. Private feature means (15%).
+  PrivacyParams mean_budget{0.15 * total_epsilon, 0.0};
+  accountant.Charge(mean_budget, "avg(features)").CheckOK();
+  auto means = PrivateFeatureMeans(*table, mean_budget, &rng);
+  means.status().CheckOK();
+  std::printf("private AVG    : d=%zu vector released (||.||=%.3f)\n",
+              means.value().dim(), means.value().Norm());
+
+  // 3c. Private model (the remaining 80%), trained through the engine's
+  // black-box bolt-on driver.
+  PrivacyParams model_budget{0.8 * total_epsilon, 0.0};
+  accountant.Charge(model_budget, "train(logistic)").CheckOK();
+  const double lambda = 1e-3;
+  auto loss = MakeLogisticLoss(lambda, 1.0 / lambda);
+  loss.status().CheckOK();
+  BoltOnOptions options;
+  options.privacy = model_budget;
+  options.passes = 20;
+  options.batch_size = 10;
+  auto model = RunBoltOnPrivateDriver(table, *loss.value(), options,
+                                      /*tolerance=*/0.01, &rng);
+  model.status().CheckOK();
+  std::printf("private MODEL  : test accuracy %.4f (epochs run: %zu)\n",
+              BinaryAccuracy(model.value().private_output.model,
+                             split.value().second),
+              model.value().driver.epochs_run);
+
+  // 4. The budget is now exhausted; further queries are refused.
+  Status refused =
+      accountant.Charge(PrivacyParams{0.01, 0.0}, "one-more-query");
+  std::printf("\n%s", accountant.LedgerToString().c_str());
+  std::printf("extra query    : %s\n", refused.ToString().c_str());
+  return 0;
+}

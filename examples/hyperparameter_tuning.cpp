@@ -1,0 +1,84 @@
+// Private hyperparameter tuning — Algorithm 3 in action.
+//
+// Differential privacy must cover EVERYTHING the data touches, including
+// the choice of hyperparameters. This example tunes (k, λ) for the bolt-on
+// trainer two ways and compares:
+//
+//   * PublicGridSearch — legitimate only when a public validation set
+//     drawn from the same distribution exists;
+//   * PrivatelyTunedSgd — the paper's Algorithm 3: disjoint data portions
+//     per candidate plus an exponential-mechanism winner selection, giving
+//     end-to-end privacy with NO public data.
+#include <cstdio>
+
+#include "core/private_tuning.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+#include "util/flags.h"
+
+using namespace bolton;
+
+int main(int argc, char** argv) {
+  double epsilon = 0.2;
+  FlagParser flags;
+  flags.AddDouble("epsilon", &epsilon, "privacy budget");
+  flags.Parse(argc, argv).CheckOK();
+  if (flags.help_requested()) {
+    flags.PrintHelp("hyperparameter_tuning");
+    return 0;
+  }
+
+  auto split = GenerateCovertypeLike(/*scale=*/0.05, /*seed=*/31);
+  split.status().CheckOK();
+  const Dataset& train = split.value().first;
+  const Dataset& test = split.value().second;
+  std::printf("train: %s\n", train.Summary("covertype-like").c_str());
+
+  // The paper's grid: k in {5, 10}, lambda in {1e-4, 1e-3, 1e-2}, b = 50.
+  std::vector<TuningCandidate> grid =
+      MakeTuningGrid({5, 10}, {50}, {1e-4, 1e-3, 1e-2});
+  std::printf("grid: %zu candidates (k x lambda)\n\n", grid.size());
+
+  TuningTrainFn train_fn = [epsilon](const Dataset& portion,
+                                     const TuningCandidate& candidate,
+                                     Rng* rng) -> Result<Vector> {
+    TrainerConfig config;
+    config.algorithm = Algorithm::kBoltOn;
+    config.lambda = candidate.lambda;
+    config.passes = candidate.passes;
+    config.batch_size = std::min(candidate.batch_size, portion.size());
+    config.privacy = PrivacyParams{epsilon, 0.0};
+    return TrainBinary(portion, config, rng);
+  };
+
+  // Private tuning: train each candidate on its own disjoint portion and
+  // select with the exponential mechanism over held-out error counts.
+  Rng rng(32);
+  auto tuned = PrivatelyTunedSgd(train, grid, PrivacyParams{epsilon, 0.0},
+                                 train_fn, &rng);
+  tuned.status().CheckOK();
+  const TuningCandidate& winner = grid[tuned.value().selected_index];
+  std::printf("Algorithm 3 picked candidate #%zu (k=%zu, lambda=%g)\n",
+              tuned.value().selected_index, winner.passes, winner.lambda);
+  std::printf("  held-out errors per candidate:");
+  for (size_t e : tuned.value().error_counts) std::printf(" %zu", e);
+  std::printf("\n  test accuracy: %.4f\n\n",
+              BinaryAccuracy(tuned.value().model, test));
+
+  // Public tuning for comparison (uses the test split as a stand-in public
+  // set — only legitimate because this data is synthetic).
+  Rng rng2(33);
+  auto public_tuned = PublicGridSearch(train, test, grid, train_fn, &rng2);
+  public_tuned.status().CheckOK();
+  const TuningCandidate& pub = grid[public_tuned.value().selected_index];
+  std::printf("public grid search picked candidate #%zu (k=%zu, lambda=%g)\n",
+              public_tuned.value().selected_index, pub.passes, pub.lambda);
+  std::printf("  test accuracy: %.4f\n",
+              BinaryAccuracy(public_tuned.value().model, test));
+  std::printf("\nNote: public tuning trains on ALL rows; Algorithm 3 gives\n"
+              "each candidate only 1/%zu of them — that accuracy gap is the\n"
+              "price of tuning privately (compare Figures 3 and 6).\n",
+              grid.size() + 1);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: train a differentially private logistic-regression model with
+// the bolt-on method (Algorithm 2) and compare it against the noiseless
+// model it perturbs.
+//
+//   ./quickstart [--epsilon=1.0] [--lambda=0.01] [--passes=10]
+//
+// The bolt-on workflow is three steps:
+//   1. build a loss with the paper's constants (L, β, γ derived for you),
+//   2. run ordinary permutation-based SGD as a black box,
+//   3. add one noise vector calibrated to the run's L2-sensitivity.
+// PrivatePsgd() does all three; everything it used is reported back.
+#include <cstdio>
+
+#include "core/private_sgd.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "util/flags.h"
+
+using namespace bolton;
+
+int main(int argc, char** argv) {
+  double epsilon = 1.0;
+  double lambda = 0.01;
+  int64_t passes = 10;
+  FlagParser flags;
+  flags.AddDouble("epsilon", &epsilon, "privacy budget (pure eps-DP)");
+  flags.AddDouble("lambda", &lambda, "L2 regularization (R is set to 1/lambda)");
+  flags.AddInt("passes", &passes, "SGD passes over the data");
+  flags.Parse(argc, argv).CheckOK();
+  if (flags.help_requested()) {
+    flags.PrintHelp("quickstart");
+    return 0;
+  }
+
+  // A binary classification dataset, features normalized to the unit ball
+  // (the preprocessing the paper's sensitivity analysis assumes).
+  auto split = GenerateProteinLike(/*scale=*/0.2, /*seed=*/42);
+  split.status().CheckOK();
+  const Dataset& train = split.value().first;
+  const Dataset& test = split.value().second;
+  std::printf("train: %s\n", train.Summary("protein-like").c_str());
+
+  // L2-regularized logistic regression; the constants (L = 1 + lambda*R,
+  // beta = 1 + lambda, gamma = lambda) come from the paper's Section 2.
+  auto loss = MakeLogisticLoss(lambda, /*radius=*/1.0 / lambda);
+  loss.status().CheckOK();
+
+  BoltOnOptions options;
+  options.privacy = PrivacyParams{epsilon, /*delta=*/0.0};
+  options.passes = static_cast<size_t>(passes);
+  options.batch_size = 50;
+
+  Rng rng(7);
+  auto result = PrivatePsgd(train, *loss.value(), options, &rng);
+  result.status().CheckOK();
+
+  const PrivateSgdOutput& out = result.value();
+  std::printf("\nAlgorithm 2 (strongly convex bolt-on):\n");
+  std::printf("  L2-sensitivity        : %.6f   (Delta2 = 2L/(gamma*m*b))\n",
+              out.sensitivity);
+  std::printf("  noise norm drawn      : %.6f\n", out.noise_norm);
+  std::printf("  gradient evaluations  : %zu\n",
+              out.stats.gradient_evaluations);
+  std::printf("  per-step noise draws  : %zu   (bolt-on: always zero)\n",
+              out.stats.noise_samples);
+  std::printf("\nTest accuracy:\n");
+  std::printf("  noiseless model       : %.4f\n",
+              BinaryAccuracy(out.noiseless_model, test));
+  std::printf("  %.4g-DP private model : %.4f\n", epsilon,
+              BinaryAccuracy(out.model, test));
+  return 0;
+}

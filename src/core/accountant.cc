@@ -1,0 +1,101 @@
+#include "core/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bst14.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+PrivacyParams BasicComposition(const std::vector<PrivacyParams>& parts) {
+  PrivacyParams total{0.0, 0.0};
+  for (const PrivacyParams& p : parts) {
+    total.epsilon += p.epsilon;
+    total.delta += p.delta;
+  }
+  return total;
+}
+
+Result<PrivacyParams> AdvancedComposition(const PrivacyParams& per_step,
+                                          size_t k, double delta_prime) {
+  BOLTON_RETURN_IF_ERROR(per_step.Validate());
+  if (delta_prime <= 0.0 || delta_prime >= 1.0) {
+    return Status::InvalidArgument("delta_prime must be in (0, 1)");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const double kd = static_cast<double>(k);
+  const double eps = per_step.epsilon;
+  PrivacyParams total;
+  total.epsilon = std::sqrt(2.0 * kd * std::log(1.0 / delta_prime)) * eps +
+                  kd * eps * std::expm1(eps);
+  total.delta = kd * per_step.delta + delta_prime;
+  return total;
+}
+
+Result<double> PerStepEpsilonForAdvancedComposition(double total_epsilon,
+                                                    double delta_prime,
+                                                    size_t k) {
+  // The BST14 line-5 solve IS this inversion; reuse it.
+  return SolveBst14Epsilon1(total_epsilon, delta_prime, k);
+}
+
+PrivacyParams ParallelComposition(const std::vector<PrivacyParams>& parts) {
+  PrivacyParams total{0.0, 0.0};
+  for (const PrivacyParams& p : parts) {
+    total.epsilon = std::max(total.epsilon, p.epsilon);
+    total.delta = std::max(total.delta, p.delta);
+  }
+  return total;
+}
+
+PrivacyAccountant::PrivacyAccountant(PrivacyParams total_budget)
+    : budget_(total_budget) {}
+
+Status PrivacyAccountant::Charge(const PrivacyParams& cost,
+                                 const std::string& label) {
+  BOLTON_RETURN_IF_ERROR(cost.Validate());
+  PrivacyParams spent = Spent();
+  // A tiny relative tolerance keeps N charges of budget/N from tripping on
+  // floating-point accumulation.
+  const double slack = 1e-12;
+  if (spent.epsilon + cost.epsilon > budget_.epsilon * (1.0 + slack) ||
+      spent.delta + cost.delta > budget_.delta + slack * (budget_.delta + 1.0)) {
+    return Status::FailedPrecondition(StrFormat(
+        "charge '%s' (eps=%g, delta=%g) exceeds remaining budget "
+        "(eps=%g, delta=%g)",
+        label.c_str(), cost.epsilon, cost.delta, Remaining().epsilon,
+        Remaining().delta));
+  }
+  charges_.push_back(Charged{cost, label});
+  return Status::OK();
+}
+
+PrivacyParams PrivacyAccountant::Spent() const {
+  PrivacyParams total{0.0, 0.0};
+  for (const Charged& c : charges_) {
+    total.epsilon += c.cost.epsilon;
+    total.delta += c.cost.delta;
+  }
+  return total;
+}
+
+PrivacyParams PrivacyAccountant::Remaining() const {
+  PrivacyParams spent = Spent();
+  return PrivacyParams{std::max(0.0, budget_.epsilon - spent.epsilon),
+                       std::max(0.0, budget_.delta - spent.delta)};
+}
+
+std::string PrivacyAccountant::LedgerToString() const {
+  std::string out = StrFormat("budget: %s\n", budget_.ToString().c_str());
+  for (const Charged& c : charges_) {
+    out += StrFormat("  %-24s %s\n", c.label.c_str(),
+                     c.cost.ToString().c_str());
+  }
+  out += StrFormat("spent: %s, remaining: %s\n",
+                   Spent().ToString().c_str(),
+                   Remaining().ToString().c_str());
+  return out;
+}
+
+}  // namespace bolton

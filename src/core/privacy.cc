@@ -1,0 +1,30 @@
+#include "core/privacy.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+Status PrivacyParams::Validate() const {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be > 0; got %g", epsilon));
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("delta must be in [0, 1); got %g", delta));
+  }
+  return Status::OK();
+}
+
+PrivacyParams PrivacyParams::SplitEvenly(int parts) const {
+  BOLTON_CHECK(parts >= 1);
+  return PrivacyParams{epsilon / parts, delta / parts};
+}
+
+std::string PrivacyParams::ToString() const {
+  if (IsPure()) return StrFormat("eps=%g", epsilon);
+  return StrFormat("(eps=%g, delta=%g)", epsilon, delta);
+}
+
+}  // namespace bolton

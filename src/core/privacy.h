@@ -1,0 +1,33 @@
+#ifndef BOLTON_CORE_PRIVACY_H_
+#define BOLTON_CORE_PRIVACY_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace bolton {
+
+/// A differential-privacy budget (ε, δ). δ = 0 means pure ε-DP.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 0.0;
+
+  /// True for pure ε-differential privacy.
+  bool IsPure() const { return delta == 0.0; }
+
+  /// Validates ε > 0, δ ∈ [0, 1). For (ε, δ)-DP via the Gaussian mechanism
+  /// (Theorem 3) the caller must additionally have ε < 1, which the noise
+  /// sampler enforces.
+  Status Validate() const;
+
+  /// Splits the budget evenly across `parts` sub-computations using basic
+  /// composition (the paper's §4.3 multiclass strategy: "we used the
+  /// simplest composition theorem and divide the privacy budget evenly").
+  PrivacyParams SplitEvenly(int parts) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace bolton
+
+#endif  // BOLTON_CORE_PRIVACY_H_

@@ -1,0 +1,144 @@
+#include "core/private_sgd.h"
+
+#include <cmath>
+
+#include "core/sensitivity.h"
+#include "optim/schedule.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+NoiseMechanism MechanismFor(const PrivacyParams& privacy) {
+  return privacy.IsPure() ? NoiseMechanism::kLaplace
+                          : NoiseMechanism::kGaussian;
+}
+
+SensitivitySetup SetupFor(const Dataset& data, const BoltOnOptions& options) {
+  SensitivitySetup setup;
+  setup.passes = options.passes;
+  setup.batch_size = options.batch_size;
+  setup.num_examples = data.size();
+  return setup;
+}
+
+PsgdOptions PsgdOptionsFor(const BoltOnOptions& options, double radius) {
+  PsgdOptions psgd;
+  psgd.passes = options.passes;
+  psgd.batch_size = options.batch_size;
+  psgd.radius = radius;
+  psgd.output = options.output;
+  psgd.sampling = SamplingMode::kPermutation;
+  psgd.fresh_permutation_each_pass = options.fresh_permutation_each_pass;
+  return psgd;
+}
+
+}  // namespace
+
+Result<PrivateSgdOutput> BoltOnPerturb(const Vector& model, double sensitivity,
+                                       const PrivacyParams& privacy,
+                                       Rng* rng) {
+  BOLTON_RETURN_IF_ERROR(privacy.Validate());
+  if (sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivity must be >= 0");
+  }
+  if (model.empty()) return Status::InvalidArgument("empty model");
+  BOLTON_ASSIGN_OR_RETURN(
+      Vector kappa,
+      SampleDpNoise(MechanismFor(privacy), model.dim(), sensitivity,
+                    privacy.epsilon, privacy.delta, rng));
+  PrivateSgdOutput out;
+  out.noiseless_model = model;
+  out.sensitivity = sensitivity;
+  out.noise_norm = kappa.Norm();
+  kappa += model;
+  out.model = std::move(kappa);
+  return out;
+}
+
+Result<PrivateSgdOutput> PrivateConvexPsgd(const Dataset& data,
+                                           const LossFunction& loss,
+                                           const BoltOnOptions& options,
+                                           Rng* rng) {
+  BOLTON_RETURN_IF_ERROR(options.privacy.Validate());
+  if (loss.IsStronglyConvex()) {
+    return Status::FailedPrecondition(
+        "Algorithm 1 requires a merely convex loss; use "
+        "PrivateStronglyConvexPsgd for gamma > 0");
+  }
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+
+  // Table 4's default constant step: η = 1/√m.
+  const double eta =
+      options.constant_step > 0.0
+          ? options.constant_step
+          : 1.0 / std::sqrt(static_cast<double>(data.size()));
+  BOLTON_ASSIGN_OR_RETURN(
+      double sensitivity,
+      ConvexConstantStepSensitivity(loss, eta, SetupFor(data, options)));
+  BOLTON_ASSIGN_OR_RETURN(auto schedule, MakeConstantStep(eta));
+
+  Rng psgd_rng = rng->Split();
+  BOLTON_ASSIGN_OR_RETURN(
+      PsgdOutput run,
+      RunPsgd(data, loss, *schedule, PsgdOptionsFor(options, loss.radius()),
+              &psgd_rng));
+
+  BOLTON_ASSIGN_OR_RETURN(
+      PrivateSgdOutput out,
+      BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
+  out.stats = run.stats;
+  return out;
+}
+
+Result<PrivateSgdOutput> PrivateStronglyConvexPsgd(const Dataset& data,
+                                                   const LossFunction& loss,
+                                                   const BoltOnOptions& options,
+                                                   Rng* rng) {
+  BOLTON_RETURN_IF_ERROR(options.privacy.Validate());
+  if (!loss.IsStronglyConvex()) {
+    return Status::FailedPrecondition(
+        "Algorithm 2 requires a strongly convex loss (gamma > 0)");
+  }
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (!std::isfinite(loss.radius())) {
+    return Status::FailedPrecondition(
+        "Algorithm 2 runs constrained optimization; the loss must carry a "
+        "finite radius (the paper uses R = 1/lambda)");
+  }
+
+  BOLTON_ASSIGN_OR_RETURN(
+      double sensitivity,
+      options.use_corrected_minibatch_sensitivity
+          ? StronglyConvexDecreasingStepSensitivityCorrected(
+                loss, SetupFor(data, options))
+          : StronglyConvexDecreasingStepSensitivity(
+                loss, SetupFor(data, options)));
+  // Algorithm 2, line 2: η_t = min(1/β, 1/(γt)).
+  BOLTON_ASSIGN_OR_RETURN(
+      auto schedule,
+      MakeInverseTimeStep(loss.strong_convexity(), loss.smoothness()));
+
+  Rng psgd_rng = rng->Split();
+  BOLTON_ASSIGN_OR_RETURN(
+      PsgdOutput run,
+      RunPsgd(data, loss, *schedule, PsgdOptionsFor(options, loss.radius()),
+              &psgd_rng));
+
+  BOLTON_ASSIGN_OR_RETURN(
+      PrivateSgdOutput out,
+      BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
+  out.stats = run.stats;
+  return out;
+}
+
+Result<PrivateSgdOutput> PrivatePsgd(const Dataset& data,
+                                     const LossFunction& loss,
+                                     const BoltOnOptions& options, Rng* rng) {
+  return loss.IsStronglyConvex()
+             ? PrivateStronglyConvexPsgd(data, loss, options, rng)
+             : PrivateConvexPsgd(data, loss, options, rng);
+}
+
+}  // namespace bolton

@@ -1,0 +1,101 @@
+#ifndef BOLTON_CORE_PRIVATE_SGD_H_
+#define BOLTON_CORE_PRIVATE_SGD_H_
+
+#include "core/privacy.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "random/dp_noise.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Options shared by the bolt-on private PSGD algorithms.
+struct BoltOnOptions {
+  /// Privacy budget. delta == 0 selects the spherical-Laplace mechanism
+  /// (pure ε-DP, Theorems 4/5); delta > 0 selects the Gaussian mechanism
+  /// ((ε, δ)-DP, Theorems 6/7) and then requires epsilon < 1.
+  PrivacyParams privacy;
+  /// Number of passes k over the data.
+  size_t passes = 10;
+  /// Mini-batch size b (divides the sensitivity, §3.2.3).
+  size_t batch_size = 50;
+  /// Return the last iterate or the uniform iterate average (Lemma 10
+  /// guarantees averaging never increases sensitivity).
+  OutputMode output = OutputMode::kLastIterate;
+  /// Resample the permutation at each pass (allowed verbatim by §3.2.3).
+  bool fresh_permutation_each_pass = false;
+  /// Constant step size η for Algorithm 1. 0 selects the paper's default
+  /// η = 1/√m (Table 4). Ignored by Algorithm 2.
+  double constant_step = 0.0;
+  /// Algorithm 2 only. When false (default), calibrate noise to the
+  /// paper's mini-batch sensitivity Δ₂ = 2L/(γmb) — faithful to the
+  /// published evaluation (§4.1 divides by b). When true, use the
+  /// corrected batch bound Δ₂ = 2L/(γm): our re-derivation and the
+  /// empirical simulations in sensitivity_test.cc show the paper's /b
+  /// improvement does not hold for the decreasing schedule when b > 1
+  /// (see DESIGN.md §6). Deployments that need the worst-case guarantee
+  /// at b > 1 should set this.
+  bool use_corrected_minibatch_sensitivity = false;
+};
+
+/// Everything a private training run produces. `model` is the only
+/// differentially private output; the rest is diagnostics for experiments
+/// (they depend on the data and MUST NOT be released alongside the model in
+/// a real deployment).
+struct PrivateSgdOutput {
+  /// w̃ = w + κ — the differentially private model.
+  Vector model;
+  /// The noiseless SGD output w (diagnostic).
+  Vector noiseless_model;
+  /// The L2-sensitivity Δ₂ used to calibrate κ.
+  double sensitivity = 0.0;
+  /// ‖κ‖ actually drawn (diagnostic).
+  double noise_norm = 0.0;
+  /// Engine counters from the underlying black-box run.
+  PsgdStats stats;
+};
+
+/// Algorithm 1 — Private Convex Permutation-based SGD.
+///
+/// Requires a convex, non-strongly-convex loss (γ = 0) and η ≤ 2/β. Runs
+/// black-box PSGD with constant step η, computes Δ₂ = 2kLη/b (Corollary 1),
+/// and publishes w + κ with κ from the mechanism selected by
+/// `options.privacy`. Optimization is unconstrained unless the loss carries
+/// a finite radius, in which case iterates are projected (rule (7), which
+/// leaves the sensitivity argument unchanged).
+Result<PrivateSgdOutput> PrivateConvexPsgd(const Dataset& data,
+                                           const LossFunction& loss,
+                                           const BoltOnOptions& options,
+                                           Rng* rng);
+
+/// Algorithm 2 — Private Strongly Convex Permutation-based SGD.
+///
+/// Requires γ > 0 and a finite hypothesis radius R (the paper sets
+/// R = 1/λ). Runs black-box projected PSGD with η_t = min(1/β, 1/(γt)),
+/// computes Δ₂ = 2L/(γmb) (Lemma 8 — independent of k), and publishes
+/// w + κ.
+Result<PrivateSgdOutput> PrivateStronglyConvexPsgd(const Dataset& data,
+                                                   const LossFunction& loss,
+                                                   const BoltOnOptions& options,
+                                                   Rng* rng);
+
+/// Dispatches on loss.IsStronglyConvex(): Algorithm 2 when γ > 0, else
+/// Algorithm 1. The convenience entry point used by examples and benches.
+Result<PrivateSgdOutput> PrivatePsgd(const Dataset& data,
+                                     const LossFunction& loss,
+                                     const BoltOnOptions& options, Rng* rng);
+
+/// Generic bolt-on wrapper: perturbs an already-trained model with noise
+/// calibrated to a caller-supplied sensitivity. This is the literal "10
+/// lines in the Python front-end" integration of §4.2 — use it to privatize
+/// the output of ANY training system (e.g., the engine/ UDA driver) once a
+/// sensitivity bound for that run is known.
+Result<PrivateSgdOutput> BoltOnPerturb(const Vector& model, double sensitivity,
+                                       const PrivacyParams& privacy, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_CORE_PRIVATE_SGD_H_

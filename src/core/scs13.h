@@ -1,0 +1,53 @@
+#ifndef BOLTON_CORE_SCS13_H_
+#define BOLTON_CORE_SCS13_H_
+
+#include "core/privacy.h"
+#include "data/dataset.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Options for the SCS13 baseline (Song, Chaudhuri & Sarwate 2013).
+struct Scs13Options {
+  /// Total privacy budget for the whole run.
+  PrivacyParams privacy;
+  /// Number of passes k. SCS13 originally supports one pass (where each
+  /// mini-batch touches disjoint data, so the whole pass is ε-DP by
+  /// parallel composition); the paper's multi-pass extension splits the
+  /// budget evenly across passes by basic composition, which is what this
+  /// implementation does (per-pass budget ε/k, δ/k).
+  size_t passes = 10;
+  /// Mini-batch size b; the per-step gradient sensitivity is 2L/b.
+  size_t batch_size = 50;
+  /// Scale c of the η_t = c/√t schedule (Table 4 uses c = 1).
+  double step_scale = 1.0;
+};
+
+/// Result of an SCS13 run.
+struct Scs13Output {
+  Vector model;
+  PsgdStats stats;
+  /// Per-update noise scale actually used: the Laplace Δ₂/ε_step ratio, or
+  /// the Gaussian σ.
+  double per_step_noise_scale = 0.0;
+};
+
+/// SCS13: white-box differentially private PSGD that perturbs EVERY
+/// mini-batch gradient update
+///
+///   w_t = Π_R( w_{t−1} − η_t ( (1/b) Σ_{i∈B_t} ∇ℓ_i(w_{t−1}) + z_t ) ),
+///
+/// with z_t calibrated to the mini-batch gradient's sensitivity 2L/b and the
+/// per-pass budget. η_t = step_scale/√t per Table 4. Projection is applied
+/// when the loss carries a finite radius (strongly convex experiments use
+/// R = 1/λ). δ = 0 draws spherical-Laplace noise; δ > 0 draws Gaussian
+/// noise (the (ε, δ) variant).
+Result<Scs13Output> RunScs13(const Dataset& data, const LossFunction& loss,
+                             const Scs13Options& options, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_CORE_SCS13_H_

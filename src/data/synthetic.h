@@ -1,0 +1,92 @@
+#ifndef BOLTON_DATA_SYNTHETIC_H_
+#define BOLTON_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Synthetic stand-ins for the paper's evaluation datasets.
+///
+/// The paper evaluates on MNIST, Protein, Forest Covertype, HIGGS, and
+/// KDDCup-99, none of which can be downloaded in this environment. Each
+/// generator below produces a dataset with the same feature dimension,
+/// class count, and (scalable) size as the original, drawn from a
+/// linear-teacher model whose margin/noise profile is tuned so that
+/// non-private logistic regression reaches roughly the accuracy the paper
+/// reports for "Noiseless". Accuracy *shapes* across ε, passes, and batch
+/// sizes — the quantities the figures compare — are preserved (see
+/// DESIGN.md §2). Real files can still be used via data/loaders.h.
+
+/// Parameters of the linear-teacher generators.
+struct SyntheticConfig {
+  /// Number of examples to generate.
+  size_t num_examples = 10000;
+  /// Feature dimension.
+  size_t dim = 50;
+  /// Number of classes (2 => labels ±1).
+  int num_classes = 2;
+  /// Distance of class prototypes from the origin before normalization;
+  /// larger = more separable.
+  double margin = 1.0;
+  /// Stddev of isotropic Gaussian feature noise around the prototype.
+  double noise_stddev = 1.0;
+  /// Probability a label is flipped to a uniformly random other class
+  /// (irreducible Bayes error).
+  double label_flip_prob = 0.0;
+  /// RNG seed; the same seed reproduces the same dataset.
+  uint64_t seed = 42;
+};
+
+/// Draws a dataset from a K-prototype linear-teacher model:
+/// prototype_k ~ uniform on the sphere of radius `margin`;
+/// x = prototype_{y} + N(0, noise_stddev² I), then scaled to ‖x‖ ≤ 1.
+/// Requires num_examples ≥ 1, dim ≥ 1, num_classes ≥ 2.
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config);
+
+/// The binary two-Gaussians workload used by Bismarck's own data synthesizer
+/// (Figure 2's scalability datasets): d-dimensional blobs at ±margin·e̅ with
+/// unit noise.
+Result<Dataset> GenerateTwoGaussians(size_t num_examples, size_t dim,
+                                     double margin, uint64_t seed);
+
+/// MNIST stand-in: 10 classes, 784 raw dimensions (project with
+/// GaussianRandomProjection to 50, as the paper does), 60k train / 10k test
+/// at scale=1.
+struct MnistLikeSpec {
+  double scale = 1.0;
+  uint64_t seed = 1;
+};
+Result<std::pair<Dataset, Dataset>> GenerateMnistLike(const MnistLikeSpec& spec);
+
+/// Protein stand-in: binary, d=74, 36438/36438 split at scale=1 (the paper
+/// halves the 72876-row training file).
+Result<std::pair<Dataset, Dataset>> GenerateProteinLike(double scale,
+                                                        uint64_t seed);
+
+/// Forest Covertype stand-in: binary, d=54, 498010/83002 at scale=1.
+Result<std::pair<Dataset, Dataset>> GenerateCovertypeLike(double scale,
+                                                          uint64_t seed);
+
+/// HIGGS stand-in: binary, d=28, 10.5M/0.5M at scale=1 (use small scales!).
+Result<std::pair<Dataset, Dataset>> GenerateHiggsLike(double scale,
+                                                      uint64_t seed);
+
+/// KDDCup-99 stand-in: binary (normal vs. attack), d=41, 494021/311029
+/// at scale=1.
+Result<std::pair<Dataset, Dataset>> GenerateKddcupLike(double scale,
+                                                       uint64_t seed);
+
+/// Looks up a generator by dataset name ("mnist", "protein", "covertype",
+/// "higgs", "kddcup"); returns {train, test}. Unknown names yield NotFound.
+Result<std::pair<Dataset, Dataset>> GenerateByName(const std::string& name,
+                                                   double scale,
+                                                   uint64_t seed);
+
+}  // namespace bolton
+
+#endif  // BOLTON_DATA_SYNTHETIC_H_

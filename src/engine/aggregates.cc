@@ -1,0 +1,102 @@
+#include "engine/aggregates.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bolton {
+
+Result<Vector> RunAggregate(const Table& table, Uda* uda,
+                            const Vector& initial_state) {
+  if (uda == nullptr) return Status::InvalidArgument("null UDA");
+  uda->Initialize(initial_state);
+  BOLTON_RETURN_IF_ERROR(
+      table.Scan([uda](const Example& row) { uda->Transition(row); }));
+  return uda->Terminate();
+}
+
+AvgUda::AvgUda(size_t dim) : dim_(dim), state_(dim + 1) {}
+
+void AvgUda::Initialize(const Vector& state) {
+  BOLTON_CHECK(state.dim() == dim_ + 1);
+  state_ = state;
+}
+
+void AvgUda::Transition(const Example& row) {
+  BOLTON_CHECK(row.x.dim() == dim_);
+  for (size_t i = 0; i < dim_; ++i) state_[i] += row.x[i];
+  state_[dim_] += 1.0;
+}
+
+Vector AvgUda::Terminate() {
+  Vector means(dim_);
+  double count = state_[dim_];
+  if (count > 0.0) {
+    for (size_t i = 0; i < dim_; ++i) means[i] = state_[i] / count;
+  }
+  return means;
+}
+
+LabelCountUda::LabelCountUda() : counts_(2) {}
+
+void LabelCountUda::Initialize(const Vector& state) {
+  BOLTON_CHECK(state.dim() == 2);
+  counts_ = state;
+}
+
+void LabelCountUda::Transition(const Example& row) {
+  if (row.label >= 0) {
+    counts_[1] += 1.0;
+  } else {
+    counts_[0] += 1.0;
+  }
+}
+
+Vector LabelCountUda::Terminate() { return counts_; }
+
+NormStatsUda::NormStatsUda()
+    : min_norm_(std::numeric_limits<double>::infinity()),
+      max_norm_(0.0),
+      sum_norm_(0.0),
+      count_(0.0) {}
+
+void NormStatsUda::Initialize(const Vector& state) {
+  BOLTON_CHECK(state.dim() == 4 || state.empty());
+  if (state.dim() == 4) {
+    min_norm_ = state[0];
+    max_norm_ = state[1];
+    sum_norm_ = state[2];
+    count_ = state[3];
+  }
+}
+
+void NormStatsUda::Transition(const Example& row) {
+  double n = row.x.Norm();
+  min_norm_ = std::min(min_norm_, n);
+  max_norm_ = std::max(max_norm_, n);
+  sum_norm_ += n;
+  count_ += 1.0;
+}
+
+Vector NormStatsUda::Terminate() {
+  Vector out(3);
+  if (count_ > 0.0) {
+    out[0] = min_norm_;
+    out[1] = max_norm_;
+    out[2] = sum_norm_ / count_;
+  }
+  return out;
+}
+
+Result<Vector> TableFeatureMeans(const Table& table) {
+  AvgUda uda(table.dim());
+  return RunAggregate(table, &uda, Vector(table.dim() + 1));
+}
+
+Result<Vector> TableNormStats(const Table& table) {
+  NormStatsUda uda;
+  return RunAggregate(table, &uda, Vector());
+}
+
+}  // namespace bolton

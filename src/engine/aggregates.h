@@ -1,0 +1,74 @@
+#ifndef BOLTON_ENGINE_AGGREGATES_H_
+#define BOLTON_ENGINE_AGGREGATES_H_
+
+#include "engine/table.h"
+#include "engine/uda.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Executes one aggregation query: initialize the UDA with `initial_state`,
+/// stream every table row through Transition, and return Terminate's
+/// output. This is the engine's equivalent of `SELECT agg(...) FROM t` —
+/// the same scan loop the SGD driver uses for an epoch, reusable for any
+/// aggregate.
+Result<Vector> RunAggregate(const Table& table, Uda* uda,
+                            const Vector& initial_state);
+
+/// The AVG aggregate of §4.2's exposition, generalized per-dimension: state
+/// is (sum_0..sum_{d−1}, count); Terminate emits the d feature means.
+/// Initialize expects a (d+1)-dim state (normally zeros).
+class AvgUda final : public Uda {
+ public:
+  explicit AvgUda(size_t dim);
+
+  void Initialize(const Vector& state) override;
+  void Transition(const Example& row) override;
+  Vector Terminate() override;
+
+ private:
+  size_t dim_;
+  Vector state_;  // d sums followed by the row count
+};
+
+/// COUNT(*) per class label sign: state is (negatives, positives).
+/// Demonstrates a stateful aggregate whose output is not model-shaped.
+class LabelCountUda final : public Uda {
+ public:
+  LabelCountUda();
+
+  void Initialize(const Vector& state) override;
+  void Transition(const Example& row) override;
+  Vector Terminate() override;
+
+ private:
+  Vector counts_;
+};
+
+/// Feature-norm statistics: (min ‖x‖, max ‖x‖, Σ‖x‖, count); Terminate
+/// emits (min, max, mean). Used to audit the unit-ball preprocessing the
+/// privacy analysis assumes.
+class NormStatsUda final : public Uda {
+ public:
+  NormStatsUda();
+
+  void Initialize(const Vector& state) override;
+  void Transition(const Example& row) override;
+  Vector Terminate() override;
+
+ private:
+  double min_norm_;
+  double max_norm_;
+  double sum_norm_;
+  double count_;
+};
+
+/// Convenience: per-dimension feature means of a table via AvgUda.
+Result<Vector> TableFeatureMeans(const Table& table);
+
+/// Convenience: (min, max, mean) feature norms of a table via NormStatsUda.
+Result<Vector> TableNormStats(const Table& table);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ENGINE_AGGREGATES_H_

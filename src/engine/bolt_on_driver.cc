@@ -1,0 +1,80 @@
+#include "engine/bolt_on_driver.h"
+
+#include <cmath>
+
+#include "core/sensitivity.h"
+#include "optim/schedule.h"
+
+namespace bolton {
+
+Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
+                                                  const LossFunction& loss,
+                                                  const BoltOnOptions& options,
+                                                  double tolerance, Rng* rng) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  BOLTON_RETURN_IF_ERROR(options.privacy.Validate());
+  const size_t m = table->num_rows();
+  if (m == 0) return Status::InvalidArgument("empty table");
+
+  DriverOptions driver_options;
+  driver_options.max_epochs = options.passes;
+  driver_options.batch_size = options.batch_size;
+  driver_options.radius = loss.radius();
+
+  std::unique_ptr<StepSizeSchedule> schedule;
+  double eta = 0.0;
+  if (loss.IsStronglyConvex()) {
+    // Algorithm 2 on the engine: k-oblivious sensitivity allows the
+    // convergence test.
+    driver_options.tolerance = tolerance;
+    BOLTON_ASSIGN_OR_RETURN(
+        schedule,
+        MakeInverseTimeStep(loss.strong_convexity(), loss.smoothness()));
+  } else {
+    // Algorithm 1 on the engine: the epoch count enters the sensitivity, so
+    // it must be fixed up front.
+    if (tolerance > 0.0) {
+      return Status::FailedPrecondition(
+          "convex bolt-on training must run a fixed number of epochs; "
+          "convergence-based stopping would leak the realized pass count "
+          "into the sensitivity (see Lemma 6)");
+    }
+    eta = options.constant_step > 0.0
+              ? options.constant_step
+              : 1.0 / std::sqrt(static_cast<double>(m));
+    BOLTON_ASSIGN_OR_RETURN(schedule, MakeConstantStep(eta));
+  }
+
+  // --- The unmodified black box. ---
+  BOLTON_ASSIGN_OR_RETURN(
+      DriverOutput run,
+      RunSgdDriver(table, loss, *schedule, driver_options, rng));
+
+  // --- The bolt-on: compute Δ₂ for the run that actually happened, draw
+  // one noise vector, add it in the front end. ---
+  SensitivitySetup setup;
+  setup.passes = run.epochs_run;
+  setup.batch_size = options.batch_size;
+  setup.num_examples = m;
+  double sensitivity;
+  if (loss.IsStronglyConvex()) {
+    BOLTON_ASSIGN_OR_RETURN(
+        sensitivity,
+        options.use_corrected_minibatch_sensitivity
+            ? StronglyConvexDecreasingStepSensitivityCorrected(loss, setup)
+            : StronglyConvexDecreasingStepSensitivity(loss, setup));
+  } else {
+    BOLTON_ASSIGN_OR_RETURN(
+        sensitivity, ConvexConstantStepSensitivity(loss, eta, setup));
+  }
+
+  BoltOnDriverOutput out;
+  BOLTON_ASSIGN_OR_RETURN(
+      out.private_output,
+      BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
+  out.private_output.stats = run.stats;
+  out.driver = std::move(run);
+  return out;
+}
+
+}  // namespace bolton

@@ -1,0 +1,49 @@
+#include "engine/catalog.h"
+
+namespace bolton {
+
+Status Catalog::Register(const std::string& name,
+                         std::unique_ptr<Table> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("table '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(const std::string& name, const Dataset& data,
+                            StorageMode mode, const std::string& spill_path) {
+  BOLTON_ASSIGN_OR_RETURN(auto table, MakeTable(data, mode, spill_path));
+  return Register(name, std::move(table));
+}
+
+Result<Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace bolton

@@ -1,0 +1,52 @@
+#ifndef BOLTON_ENGINE_CATALOG_H_
+#define BOLTON_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// A named-table registry — the engine's (single-session, unsynchronized)
+/// analogue of a database catalog. Analytics sessions register training
+/// tables once and refer to them by name afterwards, which is how the
+/// example pipelines address data.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `table` under `name`. Fails with FailedPrecondition if the
+  /// name is taken.
+  Status Register(const std::string& name, std::unique_ptr<Table> table);
+
+  /// Creates and registers a table from a dataset in one step.
+  Status CreateTable(const std::string& name, const Dataset& data,
+                     StorageMode mode, const std::string& spill_path = "");
+
+  /// Looks up a table; NotFound if absent. The catalog retains ownership.
+  Result<Table*> Get(const std::string& name) const;
+
+  /// True if `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Drops a table; NotFound if absent.
+  Status Drop(const std::string& name);
+
+  /// Registered names in sorted order.
+  std::vector<std::string> ListTables() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace bolton
+
+#endif  // BOLTON_ENGINE_CATALOG_H_

@@ -1,0 +1,52 @@
+#ifndef BOLTON_ENGINE_DRIVER_H_
+#define BOLTON_ENGINE_DRIVER_H_
+
+#include <limits>
+#include <vector>
+
+#include "engine/table.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "optim/schedule.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Front-end controller options (the role of Bismarck's Python controller).
+struct DriverOptions {
+  /// Hard cap on epochs (the paper's K threshold).
+  size_t max_epochs = 10;
+  /// Convergence test: stop when the relative model movement
+  /// ‖w_e − w_{e−1}‖ / max(1, ‖w_{e−1}‖) drops below this. 0 disables the
+  /// test, running exactly max_epochs — required for the convex bolt-on
+  /// algorithm, whose sensitivity depends on the realized epoch count.
+  double tolerance = 0.0;
+  /// Mini-batch size forwarded to the SGD UDA.
+  size_t batch_size = 1;
+  /// Projection radius forwarded to the SGD UDA.
+  double radius = std::numeric_limits<double>::infinity();
+};
+
+/// What one driver run reports back.
+struct DriverOutput {
+  Vector model;
+  size_t epochs_run = 0;
+  /// Wall-clock seconds per epoch (the Figure 5 measurements).
+  std::vector<double> epoch_seconds;
+  /// Engine counters accumulated across all epochs.
+  PsgdStats stats;
+};
+
+/// The epoch loop of Figure 1A: shuffle the table once, then per epoch
+/// initialize the UDA with the previous model, scan the table through the
+/// transition function, terminate, and apply the convergence test.
+/// `noise` (with `noise_rng`) selects the white-box path of Figure 1C.
+Result<DriverOutput> RunSgdDriver(Table* table, const LossFunction& loss,
+                                  const StepSizeSchedule& schedule,
+                                  const DriverOptions& options, Rng* rng,
+                                  GradientNoiseSource* noise = nullptr);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ENGINE_DRIVER_H_

@@ -1,0 +1,33 @@
+#ifndef BOLTON_ENGINE_UDA_H_
+#define BOLTON_ENGINE_UDA_H_
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace bolton {
+
+/// The user-defined-aggregate contract of §4.2 — the three functions a
+/// developer supplies to run an aggregation inside the engine, mirroring
+/// the C UDA API Bismarck implements on PostgreSQL:
+///
+///  * `Initialize` — set the aggregation state from the front-end
+///    controller's value (for SGD, the previous epoch's model).
+///  * `Transition` — fold one row into the state.
+///  * `Terminate`  — finish the epoch and emit the state.
+///
+/// One epoch of SGD = one aggregate invocation over a full table scan.
+/// A UDA instance persists across epochs of one training run, so
+/// implementations may keep cross-epoch counters (e.g., the global step
+/// index t that decreasing step-size schedules consume).
+class Uda {
+ public:
+  virtual ~Uda() = default;
+
+  virtual void Initialize(const Vector& state) = 0;
+  virtual void Transition(const Example& row) = 0;
+  virtual Vector Terminate() = 0;
+};
+
+}  // namespace bolton
+
+#endif  // BOLTON_ENGINE_UDA_H_

@@ -1,0 +1,101 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+namespace bolton {
+
+void Vector::SetZero() {
+  for (double& x : data_) x = 0.0;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  BOLTON_CHECK(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  BOLTON_CHECK(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  BOLTON_CHECK(scalar != 0.0);
+  return (*this) *= (1.0 / scalar);
+}
+
+void Vector::Axpy(double scalar, const Vector& other) {
+  BOLTON_CHECK(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out += b;
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out -= b;
+  return out;
+}
+
+Vector operator*(double scalar, const Vector& v) {
+  Vector out = v;
+  out *= scalar;
+  return out;
+}
+
+Vector operator*(const Vector& v, double scalar) { return scalar * v; }
+
+double Dot(const Vector& a, const Vector& b) {
+  BOLTON_CHECK(a.dim() == b.dim());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  BOLTON_CHECK(a.dim() == b.dim());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Vector Normalized(const Vector& v) {
+  double n = v.Norm();
+  if (n == 0.0) return v;
+  return v * (1.0 / n);
+}
+
+Vector ProjectToL2Ball(const Vector& v, double radius) {
+  Vector out = v;
+  ProjectToL2BallInPlace(&out, radius);
+  return out;
+}
+
+void ProjectToL2BallInPlace(Vector* v, double radius) {
+  BOLTON_CHECK(radius >= 0.0);
+  double n = v->Norm();
+  if (n > radius && n > 0.0) *v *= (radius / n);
+}
+
+}  // namespace bolton

@@ -1,0 +1,93 @@
+#include "ml/binary_stats.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bolton {
+
+double BinaryStats::Accuracy() const {
+  size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(n);
+}
+
+double BinaryStats::Precision() const {
+  size_t predicted_positive = true_positives + false_positives;
+  if (predicted_positive == 0) return 1.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(predicted_positive);
+}
+
+double BinaryStats::Recall() const {
+  size_t actual_positive = true_positives + false_negatives;
+  if (actual_positive == 0) return 1.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(actual_positive);
+}
+
+double BinaryStats::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string BinaryStats::ToString() const {
+  return StrFormat(
+      "tp=%zu fp=%zu tn=%zu fn=%zu acc=%.4f prec=%.4f rec=%.4f f1=%.4f",
+      true_positives, false_positives, true_negatives, false_negatives,
+      Accuracy(), Precision(), Recall(), F1());
+}
+
+BinaryStats ComputeBinaryStats(const Vector& model, const Dataset& test) {
+  BinaryStats stats;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const Example& e = test[i];
+    bool predicted_positive = Dot(model, e.x) >= 0.0;
+    bool actually_positive = e.label == +1;
+    if (predicted_positive && actually_positive) ++stats.true_positives;
+    if (predicted_positive && !actually_positive) ++stats.false_positives;
+    if (!predicted_positive && !actually_positive) ++stats.true_negatives;
+    if (!predicted_positive && actually_positive) ++stats.false_negatives;
+  }
+  return stats;
+}
+
+Result<double> RocAuc(const Vector& model, const Dataset& test) {
+  // AUC = (rank-sum of positives − n⁺(n⁺+1)/2) / (n⁺ n⁻), with midranks
+  // for tied scores.
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(test.size());
+  size_t positives = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    scored.emplace_back(Dot(model, test[i].x), test[i].label);
+    if (test[i].label == +1) ++positives;
+  }
+  size_t negatives = scored.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::InvalidArgument(
+        "AUC needs at least one positive and one negative example");
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    // Midrank of the tie group [i, j): 1-based ranks i+1..j.
+    double midrank = 0.5 * static_cast<double>(i + 1 + j);
+    for (size_t t = i; t < j; ++t) {
+      if (scored[t].second == +1) positive_rank_sum += midrank;
+    }
+    i = j;
+  }
+  double np = static_cast<double>(positives);
+  double nn = static_cast<double>(negatives);
+  return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+}  // namespace bolton

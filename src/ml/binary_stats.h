@@ -1,0 +1,49 @@
+#ifndef BOLTON_ML_BINARY_STATS_H_
+#define BOLTON_ML_BINARY_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Threshold-based counts and derived metrics for a ±1 binary linear model
+/// (score ≥ 0 predicts +1). Accuracy alone can mislead on the imbalanced
+/// one-vs-all views the multiclass pipeline produces (1:9 on MNIST), so the
+/// evaluation tooling also reports precision/recall/F1 and ROC AUC.
+struct BinaryStats {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  size_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+  double Accuracy() const;
+  /// TP / (TP + FP); 1 when no positive predictions were made.
+  double Precision() const;
+  /// TP / (TP + FN); 1 when there are no positives.
+  double Recall() const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double F1() const;
+
+  std::string ToString() const;
+};
+
+/// Confusion counts of `model` on `test`.
+BinaryStats ComputeBinaryStats(const Vector& model, const Dataset& test);
+
+/// Area under the ROC curve of the model's raw scores ⟨w, x⟩ — the
+/// probability a random positive outscores a random negative, computed via
+/// the rank statistic with midrank tie handling. Requires at least one
+/// positive and one negative example.
+Result<double> RocAuc(const Vector& model, const Dataset& test);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ML_BINARY_STATS_H_

@@ -1,0 +1,64 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace bolton {
+
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, size_t k,
+                                     Rng* rng) {
+  if (k < 2) return Status::InvalidArgument("k-fold needs k >= 2");
+  if (k > data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%zu folds exceed %zu examples", k, data.size()));
+  }
+  Dataset shuffled = data;
+  shuffled.Shuffle(rng);
+  std::vector<Dataset> parts = shuffled.SplitEven(k);
+
+  std::vector<Fold> folds;
+  folds.reserve(k);
+  for (size_t f = 0; f < k; ++f) {
+    Fold fold;
+    fold.validation = parts[f];
+    fold.train = Dataset(data.dim(), data.num_classes());
+    for (size_t p = 0; p < k; ++p) {
+      if (p == f) continue;
+      for (size_t i = 0; i < parts[p].size(); ++i) fold.train.Add(parts[p][i]);
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+Result<CrossValidationResult> CrossValidate(const Dataset& data, size_t k,
+                                            const FoldTrainFn& train_fn,
+                                            const FoldScoreFn& score_fn,
+                                            Rng* rng) {
+  if (!train_fn || !score_fn) {
+    return Status::InvalidArgument("null train/score function");
+  }
+  BOLTON_ASSIGN_OR_RETURN(std::vector<Fold> folds, KFoldSplit(data, k, rng));
+
+  CrossValidationResult result;
+  result.fold_scores.reserve(folds.size());
+  for (const Fold& fold : folds) {
+    Rng fold_rng = rng->Split();
+    BOLTON_ASSIGN_OR_RETURN(Vector model, train_fn(fold.train, &fold_rng));
+    result.fold_scores.push_back(score_fn(model, fold.validation));
+  }
+
+  double sum = 0.0;
+  for (double s : result.fold_scores) sum += s;
+  result.mean = sum / static_cast<double>(result.fold_scores.size());
+  double var = 0.0;
+  for (double s : result.fold_scores) {
+    var += (s - result.mean) * (s - result.mean);
+  }
+  result.stddev =
+      std::sqrt(var / static_cast<double>(result.fold_scores.size()));
+  return result;
+}
+
+}  // namespace bolton

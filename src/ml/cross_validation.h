@@ -1,0 +1,49 @@
+#ifndef BOLTON_ML_CROSS_VALIDATION_H_
+#define BOLTON_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// One fold of a k-fold split: train on everything except the fold,
+/// validate on the fold.
+struct Fold {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Shuffles (with `rng`) and splits `data` into k folds. Requires
+/// 2 ≤ k ≤ data.size(). NOT differentially private by itself — use it for
+/// noiseless model development or on public data; private selection goes
+/// through Algorithm 3 (core/private_tuning.h).
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, size_t k, Rng* rng);
+
+/// Trains on each fold's train split and scores on its validation split.
+using FoldTrainFn =
+    std::function<Result<Vector>(const Dataset& train, Rng* rng)>;
+using FoldScoreFn =
+    std::function<double(const Vector& model, const Dataset& validation)>;
+
+/// Cross-validation summary.
+struct CrossValidationResult {
+  std::vector<double> fold_scores;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs k-fold cross-validation: train with `train_fn` per fold, score with
+/// `score_fn` (e.g., BinaryAccuracy). Deterministic given the seed.
+Result<CrossValidationResult> CrossValidate(const Dataset& data, size_t k,
+                                            const FoldTrainFn& train_fn,
+                                            const FoldScoreFn& score_fn,
+                                            Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,81 @@
+#include "ml/metrics.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+double BinaryAccuracy(const Vector& model, const Dataset& test) {
+  if (test.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const Example& e = test[i];
+    int predicted = Dot(model, e.x) >= 0.0 ? +1 : -1;
+    if (predicted == e.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double MulticlassAccuracy(const MulticlassModel& model, const Dataset& test) {
+  if (test.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (model.Predict(test[i].x) == test[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) {
+  BOLTON_CHECK(num_classes >= 2);
+  counts_.assign(num_classes, std::vector<size_t>(num_classes, 0));
+}
+
+void ConfusionMatrix::Record(int true_class, int predicted_class) {
+  BOLTON_CHECK(true_class >= 0 && true_class < num_classes());
+  BOLTON_CHECK(predicted_class >= 0 && predicted_class < num_classes());
+  ++counts_[true_class][predicted_class];
+}
+
+size_t ConfusionMatrix::At(int true_class, int predicted_class) const {
+  BOLTON_CHECK(true_class >= 0 && true_class < num_classes());
+  BOLTON_CHECK(predicted_class >= 0 && predicted_class < num_classes());
+  return counts_[true_class][predicted_class];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  size_t correct = 0;
+  size_t total = 0;
+  for (int r = 0; r < num_classes(); ++r) {
+    for (int c = 0; c < num_classes(); ++c) {
+      total += counts_[r][c];
+      if (r == c) correct += counts_[r][c];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "true\\pred";
+  for (int c = 0; c < num_classes(); ++c) out += StrFormat("%8d", c);
+  out += "\n";
+  for (int r = 0; r < num_classes(); ++r) {
+    out += StrFormat("%9d", r);
+    for (int c = 0; c < num_classes(); ++c) {
+      out += StrFormat("%8zu", counts_[r][c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ConfusionMatrix ComputeConfusion(const MulticlassModel& model,
+                                 const Dataset& test) {
+  ConfusionMatrix confusion(model.num_classes());
+  for (size_t i = 0; i < test.size(); ++i) {
+    confusion.Record(test[i].label, model.Predict(test[i].x));
+  }
+  return confusion;
+}
+
+}  // namespace bolton

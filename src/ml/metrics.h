@@ -1,0 +1,47 @@
+#ifndef BOLTON_ML_METRICS_H_
+#define BOLTON_ML_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/multiclass.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace bolton {
+
+/// Test accuracy of a ±1 binary linear model: fraction of examples with
+/// sign⟨w, x⟩ == y (score 0 predicts +1). Returns 0 on an empty set.
+double BinaryAccuracy(const Vector& model, const Dataset& test);
+
+/// Test accuracy of a one-vs-all multiclass model.
+double MulticlassAccuracy(const MulticlassModel& model, const Dataset& test);
+
+/// Row-per-true-class confusion counts.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Record(int true_class, int predicted_class);
+
+  size_t At(int true_class, int predicted_class) const;
+  int num_classes() const { return static_cast<int>(counts_.size()); }
+
+  /// Overall accuracy = trace / total. 0 when nothing recorded.
+  double Accuracy() const;
+
+  /// Pretty-printed table for reports.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<size_t>> counts_;
+};
+
+/// Confusion matrix of a multiclass model over a test set.
+ConfusionMatrix ComputeConfusion(const MulticlassModel& model,
+                                 const Dataset& test);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ML_METRICS_H_

@@ -1,0 +1,172 @@
+#include "ml/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/bst14.h"
+#include "core/objective_perturbation.h"
+#include "core/private_sgd.h"
+#include "core/scs13.h"
+#include "optim/psgd.h"
+#include "optim/schedule.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Result<Vector> TrainNoiseless(const Dataset& train, const LossFunction& loss,
+                              const TrainerConfig& config, Rng* rng) {
+  std::unique_ptr<StepSizeSchedule> schedule;
+  if (loss.IsStronglyConvex()) {
+    // Table 4: noiseless strongly convex uses 1/(γt), no 1/β cap.
+    BOLTON_ASSIGN_OR_RETURN(
+        schedule, MakeInverseTimeStep(loss.strong_convexity(), kInf));
+  } else {
+    BOLTON_ASSIGN_OR_RETURN(
+        schedule,
+        MakeConstantStep(1.0 / std::sqrt(static_cast<double>(train.size()))));
+  }
+  PsgdOptions options;
+  options.passes = config.passes;
+  options.batch_size = config.batch_size;
+  options.radius = loss.radius();
+  options.output = config.average_models ? OutputMode::kAverageAll
+                                         : OutputMode::kLastIterate;
+  BOLTON_ASSIGN_OR_RETURN(PsgdOutput run,
+                          RunPsgd(train, loss, *schedule, options, rng));
+  return std::move(run.model);
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNoiseless:
+      return "noiseless";
+    case Algorithm::kBoltOn:
+      return "ours";
+    case Algorithm::kScs13:
+      return "scs13";
+    case Algorithm::kBst14:
+      return "bst14";
+    case Algorithm::kObjective:
+      return "objective";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "noiseless") return Algorithm::kNoiseless;
+  if (name == "ours" || name == "bolton" || name == "bolt-on") {
+    return Algorithm::kBoltOn;
+  }
+  if (name == "scs13") return Algorithm::kScs13;
+  if (name == "bst14") return Algorithm::kBst14;
+  if (name == "objective") return Algorithm::kObjective;
+  return Status::NotFound("unknown algorithm '" + name +
+                          "' (noiseless|ours|scs13|bst14|objective)");
+}
+
+Result<std::unique_ptr<LossFunction>> MakeLossForConfig(
+    const TrainerConfig& config) {
+  // §4.3: R = 1/λ for the strongly convex tests; unconstrained otherwise.
+  const double radius = config.lambda > 0.0 ? 1.0 / config.lambda : kInf;
+  switch (config.model) {
+    case ModelKind::kLogistic:
+      return MakeLogisticLoss(config.lambda, radius);
+    case ModelKind::kHuberSvm:
+      return MakeHuberSvmLoss(config.huber_h, config.lambda, radius);
+  }
+  return Status::Internal("unknown model kind");
+}
+
+Result<Vector> TrainBinary(const Dataset& train, const TrainerConfig& config,
+                           Rng* rng) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  BOLTON_ASSIGN_OR_RETURN(auto loss, MakeLossForConfig(config));
+
+  switch (config.algorithm) {
+    case Algorithm::kNoiseless:
+      return TrainNoiseless(train, *loss, config, rng);
+
+    case Algorithm::kBoltOn: {
+      BoltOnOptions options;
+      options.privacy = config.privacy;
+      options.passes = config.passes;
+      options.batch_size = config.batch_size;
+      options.output = config.average_models ? OutputMode::kAverageAll
+                                             : OutputMode::kLastIterate;
+      BOLTON_ASSIGN_OR_RETURN(PrivateSgdOutput out,
+                              PrivatePsgd(train, *loss, options, rng));
+      return std::move(out.model);
+    }
+
+    case Algorithm::kScs13: {
+      Scs13Options options;
+      options.privacy = config.privacy;
+      options.passes = config.passes;
+      options.batch_size = config.batch_size;
+      BOLTON_ASSIGN_OR_RETURN(Scs13Output out,
+                              RunScs13(train, *loss, options, rng));
+      return std::move(out.model);
+    }
+
+    case Algorithm::kObjective: {
+      if (config.model != ModelKind::kLogistic) {
+        return Status::FailedPrecondition(
+            "objective perturbation is implemented for logistic loss only");
+      }
+      if (!config.privacy.IsPure()) {
+        return Status::FailedPrecondition(
+            "objective perturbation provides pure eps-DP only");
+      }
+      ObjectivePerturbationOptions options;
+      options.epsilon = config.privacy.epsilon;
+      options.lambda = config.lambda;
+      options.passes = config.passes;
+      options.batch_size = config.batch_size;
+      BOLTON_ASSIGN_OR_RETURN(ObjectivePerturbationOutput out,
+                              RunObjectivePerturbation(train, options, rng));
+      return std::move(out.model);
+    }
+
+    case Algorithm::kBst14: {
+      Bst14Options options;
+      options.privacy = config.privacy;
+      options.passes = config.passes;
+      options.batch_size = config.batch_size;
+      if (!loss->IsStronglyConvex()) {
+        options.radius = config.bst14_convex_radius;
+      }
+      BOLTON_ASSIGN_OR_RETURN(Bst14Output out,
+                              RunBst14(train, *loss, options, rng));
+      return std::move(out.model);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+Result<MulticlassModel> TrainMulticlass(const Dataset& train,
+                                        const TrainerConfig& config,
+                                        Rng* rng) {
+  BinaryTrainFn train_fn = [&config](const Dataset& binary,
+                                     const PrivacyParams& budget,
+                                     Rng* sub_rng) -> Result<Vector> {
+    TrainerConfig sub = config;
+    sub.privacy = budget;
+    return TrainBinary(binary, sub, sub_rng);
+  };
+  // Noiseless training needs no budget split but flows through the same
+  // machinery; hand it a placeholder budget that Validate() accepts.
+  PrivacyParams budget = config.privacy;
+  if (config.algorithm == Algorithm::kNoiseless && budget.epsilon <= 0.0) {
+    budget = PrivacyParams{1.0, 0.0};
+  }
+  return TrainOneVsAll(train, budget, train_fn, rng,
+                       config.training_threads);
+}
+
+}  // namespace bolton

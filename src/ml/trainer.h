@@ -1,0 +1,75 @@
+#ifndef BOLTON_ML_TRAINER_H_
+#define BOLTON_ML_TRAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/multiclass.h"
+#include "core/privacy.h"
+#include "data/dataset.h"
+#include "optim/loss.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// The four training algorithms the paper's figures compare, plus the
+/// classic objective-perturbation alternative (§5's [13]) as an extra
+/// baseline. kObjective supports pure ε-DP logistic regression only.
+enum class Algorithm { kNoiseless, kBoltOn, kScs13, kBst14, kObjective };
+
+const char* AlgorithmName(Algorithm algorithm);
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// The two model families evaluated (§4.3 and Appendix B).
+enum class ModelKind { kLogistic, kHuberSvm };
+
+/// One experiment's training configuration — the uniform surface every
+/// bench and example drives. The Table 4 step-size conventions are applied
+/// automatically per (algorithm, convexity).
+struct TrainerConfig {
+  Algorithm algorithm = Algorithm::kNoiseless;
+  ModelKind model = ModelKind::kLogistic;
+  /// λ = 0 selects the convex tests (plain loss, unconstrained);
+  /// λ > 0 selects the strongly convex tests with R = 1/λ (§4.3).
+  double lambda = 0.0;
+  /// Huber smoothing width (Appendix B uses h = 0.1).
+  double huber_h = 0.1;
+  /// Ignored for kNoiseless. delta == 0 ⇒ pure ε-DP (not supported by
+  /// BST14); delta > 0 ⇒ (ε, δ)-DP.
+  PrivacyParams privacy;
+  size_t passes = 10;
+  size_t batch_size = 50;
+  /// Average all iterates instead of returning the last (bolt-on and
+  /// noiseless runs only).
+  bool average_models = false;
+  /// Hypothesis radius handed to BST14 in the convex case, where the loss
+  /// itself is unconstrained but Algorithm 4 needs a finite R.
+  double bst14_convex_radius = 10.0;
+  /// Threads for one-vs-all sub-model training (1 = serial; results are
+  /// bit-identical at any thread count).
+  size_t training_threads = 1;
+};
+
+/// Builds the loss for a config: logistic or Huber SVM, with L2 strength
+/// `lambda` and radius R = 1/λ when λ > 0 (+inf otherwise).
+Result<std::unique_ptr<LossFunction>> MakeLossForConfig(
+    const TrainerConfig& config);
+
+/// Trains one ±1 binary linear model per the config. Step sizes follow
+/// Table 4:
+///   noiseless: convex 1/√m, strongly convex 1/(γt);
+///   bolt-on:   convex 1/√m, strongly convex min(1/β, 1/(γt));
+///   SCS13:     1/√t;
+///   BST14:     Algorithm 4/5 schedules.
+Result<Vector> TrainBinary(const Dataset& train, const TrainerConfig& config,
+                           Rng* rng);
+
+/// Trains a one-vs-all multiclass model, splitting the privacy budget
+/// evenly across the K binary sub-models (§4.3).
+Result<MulticlassModel> TrainMulticlass(const Dataset& train,
+                                        const TrainerConfig& config, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_ML_TRAINER_H_

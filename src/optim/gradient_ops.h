@@ -1,0 +1,35 @@
+#ifndef BOLTON_OPTIM_GRADIENT_OPS_H_
+#define BOLTON_OPTIM_GRADIENT_OPS_H_
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "optim/loss.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// One application of the gradient-update operator (paper Eq. 2):
+///   G_{ℓ,η}(w) = w − η ∇ℓ(w, example).
+Vector GradientUpdate(const LossFunction& loss, const Example& example,
+                      double eta, const Vector& w);
+
+/// The theoretical expansiveness factor ρ of G_{ℓ,η} per Lemmas 1 and 2:
+///  * convex (γ = 0), η ≤ 2/β            → ρ = 1
+///  * γ-strongly convex, η ≤ 1/β         → ρ = 1 − ηγ   (Lemma 2)
+///  * γ-strongly convex, 1/β < η ≤ 2/(β+γ) → ρ = 1 − 2ηβγ/(β+γ)  (Lemma 1.2)
+/// Returns InvalidArgument when η exceeds the regime where the lemmas apply.
+Result<double> ExpansivenessBound(const LossFunction& loss, double eta);
+
+/// The boundedness bound σ of G_{ℓ,η} per Lemma 3: σ = ηL.
+double BoundednessBound(const LossFunction& loss, double eta);
+
+/// Growth-recursion step (Lemma 4): given δ_{t−1}, returns the bound on δ_t.
+/// `same_operator` is true when both sequences apply the same G_t (the
+/// non-differing data point); then δ_t ≤ ρ δ_{t−1}. Otherwise
+/// δ_t ≤ min(ρ,1) δ_{t−1} + 2σ_t.
+double GrowthRecursionStep(double delta_prev, double rho, double sigma,
+                           bool same_operator);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_GRADIENT_OPS_H_

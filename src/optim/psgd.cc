@@ -1,0 +1,113 @@
+#include "optim/psgd.h"
+
+#include <cmath>
+
+#include "random/permutation.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+Status ValidateOptions(const Dataset& data, const PsgdOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (options.passes < 1) return Status::InvalidArgument("passes must be >= 1");
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.batch_size > data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("batch_size %zu exceeds training size %zu",
+                  options.batch_size, data.size()));
+  }
+  if (options.radius <= 0.0) {
+    return Status::InvalidArgument("radius must be > 0 (may be +inf)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PsgdOutput> RunPsgd(
+    const Dataset& data, const LossFunction& loss,
+    const StepSizeSchedule& schedule, const PsgdOptions& options, Rng* rng,
+    GradientNoiseSource* noise,
+    const std::function<void(size_t, const Vector&)>& pass_callback) {
+  BOLTON_RETURN_IF_ERROR(ValidateOptions(data, options));
+
+  const size_t m = data.size();
+  const size_t dim = data.dim();
+  const size_t b = options.batch_size;
+  const bool project = std::isfinite(options.radius);
+
+  Vector w(dim);
+  Vector grad(dim);
+  Vector iterate_sum(dim);
+
+  PsgdStats stats;
+  std::vector<size_t> order;
+  if (options.sampling == SamplingMode::kPermutation) {
+    order = RandomPermutation(m, rng);
+  } else {
+    order.resize(b);  // reused scratch for with-replacement draws
+  }
+
+  size_t step = 0;  // 1-based after increment; indexes the schedule
+  for (size_t pass = 1; pass <= options.passes; ++pass) {
+    if (options.sampling == SamplingMode::kPermutation && pass > 1 &&
+        options.fresh_permutation_each_pass) {
+      order = RandomPermutation(m, rng);
+    }
+    for (size_t begin = 0; begin < m; begin += b) {
+      const size_t batch_len =
+          options.sampling == SamplingMode::kPermutation
+              ? std::min(b, m - begin)
+              : b;
+      ++step;
+
+      grad.SetZero();
+      const double scale = 1.0 / static_cast<double>(batch_len);
+      for (size_t j = 0; j < batch_len; ++j) {
+        size_t idx;
+        if (options.sampling == SamplingMode::kPermutation) {
+          idx = order[begin + j];
+        } else {
+          idx = rng->UniformInt(m);
+        }
+        loss.AddGradient(w, data[idx], scale, &grad);
+        ++stats.gradient_evaluations;
+      }
+
+      if (noise != nullptr) {
+        BOLTON_ASSIGN_OR_RETURN(Vector z, noise->Sample(step, dim, rng));
+        grad += z;
+        ++stats.noise_samples;
+      }
+
+      const double eta = schedule.StepSize(step);
+      if (!(eta > 0.0) || !std::isfinite(eta)) {
+        return Status::InvalidArgument(
+            StrFormat("schedule '%s' produced invalid step size %g at t=%zu",
+                      schedule.name().c_str(), eta, step));
+      }
+      w.Axpy(-eta, grad);
+      if (project) ProjectToL2BallInPlace(&w, options.radius);
+
+      ++stats.updates;
+      if (options.output == OutputMode::kAverageAll) iterate_sum += w;
+    }
+    if (pass_callback) pass_callback(pass, w);
+  }
+
+  PsgdOutput out;
+  out.stats = stats;
+  if (options.output == OutputMode::kAverageAll && stats.updates > 0) {
+    iterate_sum *= 1.0 / static_cast<double>(stats.updates);
+    out.model = std::move(iterate_sum);
+  } else {
+    out.model = std::move(w);
+  }
+  return out;
+}
+
+}  // namespace bolton

@@ -1,0 +1,98 @@
+#ifndef BOLTON_OPTIM_PSGD_H_
+#define BOLTON_OPTIM_PSGD_H_
+
+#include <functional>
+#include <limits>
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "optim/loss.h"
+#include "optim/schedule.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// How examples are drawn during SGD.
+enum class SamplingMode {
+  /// Permutation-based SGD (the paper's PSGD): shuffle once (or per pass)
+  /// and cycle. Bismarck's native mode; required by the bolt-on analysis.
+  kPermutation,
+  /// Uniform with-replacement draws each step — BST14's sampling.
+  kWithReplacement,
+};
+
+/// Which hypothesis the run returns.
+enum class OutputMode {
+  /// The final iterate w_T.
+  kLastIterate,
+  /// The uniform average (1/T)·Σ w_t of all iterates (paper §3.2.3 "Model
+  /// Averaging"; sensitivity is no worse than the last iterate's).
+  kAverageAll,
+};
+
+/// White-box extension point: per-update noise injected into the (averaged)
+/// mini-batch gradient before the step is applied. The bolt-on algorithms
+/// never use this; SCS13 and BST14 are implemented through it, mirroring how
+/// they must patch the UDA transition function in Bismarck (§4.2).
+class GradientNoiseSource {
+ public:
+  virtual ~GradientNoiseSource() = default;
+
+  /// Noise for (1-based) update `step`; added to the averaged gradient.
+  virtual Result<Vector> Sample(size_t step, size_t dim, Rng* rng) = 0;
+};
+
+/// Options for a PSGD run.
+struct PsgdOptions {
+  /// Number of passes over the data (k).
+  size_t passes = 1;
+  /// Mini-batch size (b). In permutation mode each pass is partitioned into
+  /// ⌈m/b⌉ consecutive chunks of the shuffled order.
+  size_t batch_size = 1;
+  /// Radius R of the hypothesis ball; each update is projected onto it
+  /// (rule (7)). +infinity disables projection (unconstrained).
+  double radius = std::numeric_limits<double>::infinity();
+  OutputMode output = OutputMode::kLastIterate;
+  SamplingMode sampling = SamplingMode::kPermutation;
+  /// Sample a fresh permutation at every pass (analysis is unchanged,
+  /// §3.2.3 "Fresh Permutation at Each Pass").
+  bool fresh_permutation_each_pass = false;
+};
+
+/// Counters describing a finished run; the runtime benches report these.
+struct PsgdStats {
+  /// Individual ∇ℓ_i evaluations (m·k for full passes).
+  size_t gradient_evaluations = 0;
+  /// Model updates applied (T = k·⌈m/b⌉).
+  size_t updates = 0;
+  /// Draws taken from the GradientNoiseSource (0 for black-box SGD).
+  size_t noise_samples = 0;
+};
+
+/// The result of a PSGD run.
+struct PsgdOutput {
+  Vector model;
+  PsgdStats stats;
+};
+
+/// Runs k-pass mini-batch permutation-based SGD:
+///
+///   w_t = Π_R( w_{t−1} − η_t · [ (1/|B_t|) Σ_{i∈B_t} ∇ℓ_i(w_{t−1}) + z_t ] )
+///
+/// with z_t = 0 unless a GradientNoiseSource is supplied. Starts from w = 0.
+/// This is the black box invoked at line 2 of Algorithms 1 and 2; with a
+/// noise source it also hosts the SCS13/BST14 baselines.
+///
+/// `pass_callback`, when set, is invoked after each completed pass with the
+/// (1-based) pass number and current iterate — used for convergence
+/// tracking and the engine's convergence test.
+Result<PsgdOutput> RunPsgd(
+    const Dataset& data, const LossFunction& loss,
+    const StepSizeSchedule& schedule, const PsgdOptions& options, Rng* rng,
+    GradientNoiseSource* noise = nullptr,
+    const std::function<void(size_t, const Vector&)>& pass_callback = nullptr);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_PSGD_H_

@@ -1,0 +1,51 @@
+#include "optim/sag.h"
+
+#include <cmath>
+#include <vector>
+
+namespace bolton {
+
+Result<PsgdOutput> RunSag(const Dataset& data, const LossFunction& loss,
+                          const SagOptions& options, Rng* rng) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (options.radius <= 0.0) {
+    return Status::InvalidArgument("radius must be > 0 (may be +inf)");
+  }
+  const size_t m = data.size();
+  const size_t dim = data.dim();
+  const size_t updates = options.updates == 0 ? 5 * m : options.updates;
+  const double eta =
+      options.step > 0.0 ? options.step : 1.0 / (16.0 * loss.smoothness());
+  if (!(eta > 0.0) || !std::isfinite(eta)) {
+    return Status::InvalidArgument("invalid step size");
+  }
+  const bool project = std::isfinite(options.radius);
+
+  PsgdOutput out;
+  Vector w(dim);
+  // Per-example gradient memory, initialized to zero (the standard cold
+  // start; the average warms up over the first pass).
+  std::vector<Vector> memory(m, Vector(dim));
+  Vector average(dim);  // (1/m) Σ_j g_j, maintained incrementally
+  Vector fresh(dim);
+
+  for (size_t t = 0; t < updates; ++t) {
+    size_t i = rng->UniformInt(m);  // data-independent: non-adaptive
+    fresh.SetZero();
+    loss.AddGradient(w, data[i], 1.0, &fresh);
+    ++out.stats.gradient_evaluations;
+
+    // average += (fresh − memory[i]) / m, then swap the memory slot.
+    average.Axpy(1.0 / static_cast<double>(m), fresh);
+    average.Axpy(-1.0 / static_cast<double>(m), memory[i]);
+    memory[i] = fresh;
+
+    w.Axpy(-eta, average);
+    if (project) ProjectToL2BallInPlace(&w, options.radius);
+    ++out.stats.updates;
+  }
+  out.model = std::move(w);
+  return out;
+}
+
+}  // namespace bolton

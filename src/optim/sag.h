@@ -1,0 +1,40 @@
+#ifndef BOLTON_OPTIM_SAG_H_
+#define BOLTON_OPTIM_SAG_H_
+
+#include <limits>
+
+#include "data/dataset.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Options for Stochastic Average Gradient.
+struct SagOptions {
+  /// Total updates T; 0 means 5·m (five effective passes).
+  size_t updates = 0;
+  /// Constant step size η; 0 selects the standard 1/(16β).
+  double step = 0.0;
+  /// Projection radius (+inf disables).
+  double radius = std::numeric_limits<double>::infinity();
+};
+
+/// SAG (Le Roux, Schmidt & Bach 2012) — the other "more modern SGD
+/// variant" the paper's §3.2 lists as NON-ADAPTIVE (Definition 7): index
+/// choices are data-independent, so Lemma 5 and output perturbation apply
+/// in principle. SAG keeps the most recent gradient of every example
+/// (O(m·d) memory) and steps along their running average:
+///
+///   g_i ← ∇ℓ_i(w) for the drawn i;   w ← Π_R(w − η · (1/m) Σ_j g_j).
+///
+/// As with SVRG, the paper derives no analytical Δ₂ for SAG; use
+/// SimulateDeltaT for empirical sensitivity measurements or derive a bound
+/// before private use.
+Result<PsgdOutput> RunSag(const Dataset& data, const LossFunction& loss,
+                          const SagOptions& options, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_SAG_H_

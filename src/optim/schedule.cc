@@ -1,0 +1,149 @@
+#include "optim/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+class ConstantStep final : public StepSizeSchedule {
+ public:
+  explicit ConstantStep(double eta) : eta_(eta) {}
+  double StepSize(size_t) const override { return eta_; }
+  double MaxStepSize() const override { return eta_; }
+  std::string name() const override { return StrFormat("constant(%g)", eta_); }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<ConstantStep>(*this);
+  }
+
+ private:
+  double eta_;
+};
+
+class InverseTimeStep final : public StepSizeSchedule {
+ public:
+  InverseTimeStep(double gamma, double beta) : gamma_(gamma), beta_(beta) {}
+  double StepSize(size_t t) const override {
+    double inv_t = 1.0 / (gamma_ * static_cast<double>(t));
+    return std::isfinite(beta_) ? std::min(1.0 / beta_, inv_t) : inv_t;
+  }
+  double MaxStepSize() const override { return StepSize(1); }
+  std::string name() const override {
+    return StrFormat("inverse_time(gamma=%g,beta=%g)", gamma_, beta_);
+  }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<InverseTimeStep>(*this);
+  }
+
+ private:
+  double gamma_;
+  double beta_;
+};
+
+class InverseSqrtStep final : public StepSizeSchedule {
+ public:
+  explicit InverseSqrtStep(double c) : c_(c) {}
+  double StepSize(size_t t) const override {
+    return c_ / std::sqrt(static_cast<double>(t));
+  }
+  double MaxStepSize() const override { return c_; }
+  std::string name() const override {
+    return StrFormat("inverse_sqrt(%g)", c_);
+  }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<InverseSqrtStep>(*this);
+  }
+
+ private:
+  double c_;
+};
+
+class DecreasingStep final : public StepSizeSchedule {
+ public:
+  DecreasingStep(double beta, size_t m, double c)
+      : beta_(beta), offset_(std::pow(static_cast<double>(m), c)), m_(m), c_(c) {}
+  double StepSize(size_t t) const override {
+    return 2.0 / (beta_ * (static_cast<double>(t) + offset_));
+  }
+  double MaxStepSize() const override { return StepSize(1); }
+  std::string name() const override {
+    return StrFormat("decreasing(beta=%g,m=%zu,c=%g)", beta_, m_, c_);
+  }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<DecreasingStep>(*this);
+  }
+
+ private:
+  double beta_;
+  double offset_;
+  size_t m_;
+  double c_;
+};
+
+class SqrtOffsetStep final : public StepSizeSchedule {
+ public:
+  SqrtOffsetStep(double beta, size_t m, double c)
+      : beta_(beta), offset_(std::pow(static_cast<double>(m), c)), m_(m), c_(c) {}
+  double StepSize(size_t t) const override {
+    return 2.0 / (beta_ * (std::sqrt(static_cast<double>(t)) + offset_));
+  }
+  double MaxStepSize() const override { return StepSize(1); }
+  std::string name() const override {
+    return StrFormat("sqrt_offset(beta=%g,m=%zu,c=%g)", beta_, m_, c_);
+  }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<SqrtOffsetStep>(*this);
+  }
+
+ private:
+  double beta_;
+  double offset_;
+  size_t m_;
+  double c_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StepSizeSchedule>> MakeConstantStep(double eta) {
+  if (eta <= 0.0) return Status::InvalidArgument("step size must be > 0");
+  return std::unique_ptr<StepSizeSchedule>(new ConstantStep(eta));
+}
+
+Result<std::unique_ptr<StepSizeSchedule>> MakeInverseTimeStep(double gamma,
+                                                              double beta) {
+  if (gamma <= 0.0) return Status::InvalidArgument("gamma must be > 0");
+  if (beta <= 0.0) return Status::InvalidArgument("beta must be > 0");
+  return std::unique_ptr<StepSizeSchedule>(new InverseTimeStep(gamma, beta));
+}
+
+Result<std::unique_ptr<StepSizeSchedule>> MakeInverseSqrtStep(double c) {
+  if (c <= 0.0) return Status::InvalidArgument("scale must be > 0");
+  return std::unique_ptr<StepSizeSchedule>(new InverseSqrtStep(c));
+}
+
+Result<std::unique_ptr<StepSizeSchedule>> MakeDecreasingStep(double beta,
+                                                             size_t m,
+                                                             double c) {
+  if (beta <= 0.0) return Status::InvalidArgument("beta must be > 0");
+  if (m == 0) return Status::InvalidArgument("m must be >= 1");
+  if (c < 0.0 || c >= 1.0) {
+    return Status::InvalidArgument("c must be in [0, 1) (Corollary 2)");
+  }
+  return std::unique_ptr<StepSizeSchedule>(new DecreasingStep(beta, m, c));
+}
+
+Result<std::unique_ptr<StepSizeSchedule>> MakeSqrtOffsetStep(double beta,
+                                                             size_t m,
+                                                             double c) {
+  if (beta <= 0.0) return Status::InvalidArgument("beta must be > 0");
+  if (m == 0) return Status::InvalidArgument("m must be >= 1");
+  if (c < 0.0 || c >= 1.0) {
+    return Status::InvalidArgument("c must be in [0, 1) (Corollary 3)");
+  }
+  return std::unique_ptr<StepSizeSchedule>(new SqrtOffsetStep(beta, m, c));
+}
+
+}  // namespace bolton

@@ -1,0 +1,52 @@
+#ifndef BOLTON_OPTIM_SCHEDULE_H_
+#define BOLTON_OPTIM_SCHEDULE_H_
+
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace bolton {
+
+/// A learning-rate schedule η_t. Steps are 1-based, matching the paper's
+/// indexing (t = 1, 2, ..., T with T = km).
+class StepSizeSchedule {
+ public:
+  virtual ~StepSizeSchedule() = default;
+
+  /// η_t for step t ≥ 1.
+  virtual double StepSize(size_t t) const = 0;
+
+  /// Largest step size the schedule can emit (η_1 for the decreasing
+  /// schedules). Sensitivity formulas for constant steps consume this.
+  virtual double MaxStepSize() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<StepSizeSchedule> Clone() const = 0;
+};
+
+/// η_t = η (paper's convex setting; Corollary 1). The paper's default for
+/// both noiseless and private convex runs is η = 1/√m (Table 4).
+Result<std::unique_ptr<StepSizeSchedule>> MakeConstantStep(double eta);
+
+/// η_t = min(1/β, 1/(γt)) — Algorithm 2's strongly convex schedule
+/// (Lemma 8). Pass beta = +inf for the paper's plain noiseless 1/(γt).
+Result<std::unique_ptr<StepSizeSchedule>> MakeInverseTimeStep(double gamma,
+                                                              double beta);
+
+/// η_t = c/√t — SCS13's schedule (Table 4 uses c = 1).
+Result<std::unique_ptr<StepSizeSchedule>> MakeInverseSqrtStep(double c);
+
+/// η_t = 2/(β(t + m^c)) — Corollary 2's decreasing schedule.
+Result<std::unique_ptr<StepSizeSchedule>> MakeDecreasingStep(double beta,
+                                                             size_t m,
+                                                             double c);
+
+/// η_t = 2/(β(√t + m^c)) — Corollary 3's square-root schedule.
+Result<std::unique_ptr<StepSizeSchedule>> MakeSqrtOffsetStep(double beta,
+                                                             size_t m,
+                                                             double c);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_SCHEDULE_H_

@@ -1,0 +1,33 @@
+#ifndef BOLTON_OPTIM_SPARSE_PSGD_H_
+#define BOLTON_OPTIM_SPARSE_PSGD_H_
+
+#include "data/sparse_dataset.h"
+#include "optim/psgd.h"
+#include "optim/schedule.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Permutation-based SGD for L2-regularized logistic regression over SPARSE
+/// features. Bit-for-bit equivalent to RunPsgd on the densified data with
+/// the same seed (it mirrors the dense engine's loop and RNG usage
+/// exactly), but the per-example gradient work is O(nnz) instead of O(d)
+/// when λ = 0. With λ > 0 the regularizer term touches every coordinate,
+/// so the sparse win applies to the convex (unregularized) setting — which
+/// is exactly Algorithm 1's.
+///
+/// Because the output is identical to the dense black box, every
+/// sensitivity bound and the bolt-on perturbation apply unchanged: run
+/// this, then BoltOnPerturb() with the matching Δ₂.
+/// `options.radius` controls projection, as in the dense engine; λ is
+/// passed directly since the sparse path has no LossFunction object.
+Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
+                                         double lambda,
+                                         const StepSizeSchedule& schedule,
+                                         const PsgdOptions& options, Rng* rng,
+                                         GradientNoiseSource* noise = nullptr);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_SPARSE_PSGD_H_

@@ -1,0 +1,60 @@
+#include "optim/svrg.h"
+
+#include <cmath>
+
+namespace bolton {
+
+Result<PsgdOutput> RunSvrg(const Dataset& data, const LossFunction& loss,
+                           const SvrgOptions& options, Rng* rng) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (options.outer_iterations < 1) {
+    return Status::InvalidArgument("outer_iterations must be >= 1");
+  }
+  if (options.radius <= 0.0) {
+    return Status::InvalidArgument("radius must be > 0 (may be +inf)");
+  }
+  const size_t m = data.size();
+  const size_t dim = data.dim();
+  const size_t inner = options.inner_updates == 0 ? m : options.inner_updates;
+  const double eta =
+      options.step > 0.0 ? options.step : 1.0 / (10.0 * loss.smoothness());
+  if (!(eta > 0.0) || !std::isfinite(eta)) {
+    return Status::InvalidArgument("invalid step size");
+  }
+  const bool project = std::isfinite(options.radius);
+
+  PsgdOutput out;
+  Vector snapshot(dim);  // w̃
+  Vector w(dim);
+  Vector snapshot_gradient(dim);  // μ̃ = ∇L_S(w̃)
+  Vector correction(dim);
+
+  for (size_t s = 0; s < options.outer_iterations; ++s) {
+    // Full-gradient snapshot.
+    snapshot_gradient.SetZero();
+    const double scale = 1.0 / static_cast<double>(m);
+    for (size_t i = 0; i < m; ++i) {
+      loss.AddGradient(snapshot, data[i], scale, &snapshot_gradient);
+      ++out.stats.gradient_evaluations;
+    }
+
+    w = snapshot;
+    for (size_t t = 0; t < inner; ++t) {
+      size_t i = rng->UniformInt(m);  // data-independent: non-adaptive
+      // Variance-reduced direction: ∇ℓ_i(w) − ∇ℓ_i(w̃) + μ̃.
+      correction = snapshot_gradient;
+      loss.AddGradient(w, data[i], 1.0, &correction);
+      loss.AddGradient(snapshot, data[i], -1.0, &correction);
+      out.stats.gradient_evaluations += 2;
+
+      w.Axpy(-eta, correction);
+      if (project) ProjectToL2BallInPlace(&w, options.radius);
+      ++out.stats.updates;
+    }
+    snapshot = w;
+  }
+  out.model = std::move(snapshot);
+  return out;
+}
+
+}  // namespace bolton

@@ -1,0 +1,42 @@
+#ifndef BOLTON_OPTIM_SVRG_H_
+#define BOLTON_OPTIM_SVRG_H_
+
+#include <limits>
+
+#include "data/dataset.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Options for Stochastic Variance Reduced Gradient.
+struct SvrgOptions {
+  /// Outer iterations S (each recomputes a full-gradient snapshot).
+  size_t outer_iterations = 5;
+  /// Inner updates per outer iteration; 0 means m (one effective pass).
+  size_t inner_updates = 0;
+  /// Constant step size η; 0 selects the standard 1/(10β).
+  double step = 0.0;
+  /// Projection radius (+inf disables).
+  double radius = std::numeric_limits<double>::infinity();
+};
+
+/// SVRG (Johnson & Zhang 2013) — one of the "more modern SGD variants"
+/// the paper's §3.2 points out is NON-ADAPTIVE (Definition 7): its random
+/// index choices never depend on data values, so Lemma 5's
+/// randomness-one-at-a-time argument — and therefore output perturbation —
+/// applies to it just as it does to PSGD. The paper does not derive an
+/// analytical Δ₂ for SVRG; pair this optimizer with the empirical
+/// sensitivity tooling (core/sensitivity.h's SimulateDeltaT) or derive a
+/// bound before using it privately.
+///
+/// Update: w ← Π_R( w − η(∇ℓ_i(w) − ∇ℓ_i(w̃) + μ̃) ) with μ̃ = ∇L_S(w̃)
+/// recomputed at each snapshot w̃. Returns the final snapshot.
+Result<PsgdOutput> RunSvrg(const Dataset& data, const LossFunction& loss,
+                           const SvrgOptions& options, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_SVRG_H_

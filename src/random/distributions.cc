@@ -1,0 +1,90 @@
+#include "random/distributions.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bolton {
+
+namespace {
+
+// Marsaglia & Tsang (2000), "A simple method for generating gamma variables".
+// Valid for shape >= 1, scale 1.
+double SampleGammaShapeGE1(double shape, Rng* rng) {
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x, v;
+    do {
+      x = rng->Gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    double u = rng->UniformDouble();
+    if (u == 0.0) continue;
+    double x2 = x * x;
+    // Squeeze check first (cheap), then the full log check.
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+double SampleGamma(double shape, double scale, Rng* rng) {
+  BOLTON_CHECK(shape > 0.0);
+  BOLTON_CHECK(scale > 0.0);
+  if (shape >= 1.0) return scale * SampleGammaShapeGE1(shape, rng);
+  // Boost: if G ~ Gamma(shape+1) and U ~ Uniform(0,1), then
+  // G * U^{1/shape} ~ Gamma(shape).
+  double g = SampleGammaShapeGE1(shape + 1.0, rng);
+  double u;
+  do {
+    u = rng->UniformDouble();
+  } while (u == 0.0);
+  return scale * g * std::pow(u, 1.0 / shape);
+}
+
+double SampleExponential(double scale, Rng* rng) {
+  BOLTON_CHECK(scale > 0.0);
+  double u;
+  do {
+    u = rng->UniformDouble();
+  } while (u == 0.0);
+  return -scale * std::log(u);
+}
+
+double SampleLaplace(double scale, Rng* rng) {
+  // Difference of two iid exponentials is Laplace.
+  return SampleExponential(scale, rng) - SampleExponential(scale, rng);
+}
+
+Vector SampleUnitSphere(size_t dim, Rng* rng) {
+  BOLTON_CHECK(dim >= 1);
+  // Normalizing iid Gaussians gives the uniform distribution on the sphere;
+  // this is the standard trick referenced by the paper's Appendix E ([8]).
+  Vector v(dim);
+  double norm2;
+  do {
+    for (size_t i = 0; i < dim; ++i) v[i] = rng->Gaussian();
+    norm2 = v.SquaredNorm();
+  } while (norm2 == 0.0);
+  v *= 1.0 / std::sqrt(norm2);
+  return v;
+}
+
+Vector SampleUnitBall(size_t dim, Rng* rng) {
+  Vector v = SampleUnitSphere(dim, rng);
+  double r = std::pow(rng->UniformDouble(), 1.0 / static_cast<double>(dim));
+  v *= r;
+  return v;
+}
+
+Vector SampleGaussianVector(size_t dim, double sigma, Rng* rng) {
+  BOLTON_CHECK(sigma >= 0.0);
+  Vector v(dim);
+  for (size_t i = 0; i < dim; ++i) v[i] = sigma * rng->Gaussian();
+  return v;
+}
+
+}  // namespace bolton

@@ -1,0 +1,37 @@
+#ifndef BOLTON_RANDOM_DISTRIBUTIONS_H_
+#define BOLTON_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+#include "random/rng.h"
+
+namespace bolton {
+
+/// Draws from Gamma(shape, scale) with density
+///   p(x) ∝ x^{shape-1} e^{-x/scale},  mean = shape * scale.
+/// Uses Marsaglia–Tsang squeeze for shape >= 1 and the boosting identity
+/// Gamma(a) = Gamma(a+1) * U^{1/a} for shape < 1. Requires shape > 0 and
+/// scale > 0.
+double SampleGamma(double shape, double scale, Rng* rng);
+
+/// Draws from Exponential(scale) (mean = scale). Requires scale > 0.
+double SampleExponential(double scale, Rng* rng);
+
+/// Draws from the classic scalar Laplace(0, scale) distribution.
+double SampleLaplace(double scale, Rng* rng);
+
+/// A point uniformly distributed on the surface of the unit sphere in R^d:
+/// a vector of iid Gaussians, normalized. Requires dim >= 1.
+Vector SampleUnitSphere(size_t dim, Rng* rng);
+
+/// A point uniformly distributed inside the unit ball in R^d (direction on
+/// the sphere, radius U^{1/d}).
+Vector SampleUnitBall(size_t dim, Rng* rng);
+
+/// A vector of iid N(0, sigma^2) components.
+Vector SampleGaussianVector(size_t dim, double sigma, Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_RANDOM_DISTRIBUTIONS_H_

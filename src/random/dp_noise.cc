@@ -1,0 +1,73 @@
+#include "random/dp_noise.h"
+
+#include <cmath>
+
+#include "random/distributions.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+Result<Vector> SampleSphericalLaplace(size_t dim, double sensitivity,
+                                      double epsilon, Rng* rng) {
+  if (dim < 1) return Status::InvalidArgument("noise dimension must be >= 1");
+  if (sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivity must be >= 0");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be > 0 for epsilon-DP noise");
+  }
+  if (sensitivity == 0.0) return Vector(dim);
+  // Appendix E: direction uniform on the sphere, magnitude ~ Gamma(d, Δ₂/ε).
+  Vector direction = SampleUnitSphere(dim, rng);
+  double magnitude =
+      SampleGamma(static_cast<double>(dim), sensitivity / epsilon, rng);
+  direction *= magnitude;
+  return direction;
+}
+
+Result<double> GaussianMechanismSigma(double sensitivity, double epsilon,
+                                      double delta) {
+  if (sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivity must be >= 0");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "Gaussian mechanism (Theorem 3) requires epsilon in (0,1); got %g",
+        epsilon));
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("delta must be in (0,1); got %g", delta));
+  }
+  const double c = std::sqrt(2.0 * std::log(1.25 / delta));
+  return c * sensitivity / epsilon;
+}
+
+Result<Vector> SampleGaussianMechanism(size_t dim, double sensitivity,
+                                       double epsilon, double delta,
+                                       Rng* rng) {
+  if (dim < 1) return Status::InvalidArgument("noise dimension must be >= 1");
+  BOLTON_ASSIGN_OR_RETURN(double sigma,
+                          GaussianMechanismSigma(sensitivity, epsilon, delta));
+  return SampleGaussianVector(dim, sigma, rng);
+}
+
+double LaplaceNoiseNormBound(size_t dim, double sensitivity, double epsilon,
+                             double gamma) {
+  double d = static_cast<double>(dim);
+  return d * std::log(d / gamma) * sensitivity / epsilon;
+}
+
+Result<Vector> SampleDpNoise(NoiseMechanism mechanism, size_t dim,
+                             double sensitivity, double epsilon, double delta,
+                             Rng* rng) {
+  switch (mechanism) {
+    case NoiseMechanism::kLaplace:
+      return SampleSphericalLaplace(dim, sensitivity, epsilon, rng);
+    case NoiseMechanism::kGaussian:
+      return SampleGaussianMechanism(dim, sensitivity, epsilon, delta, rng);
+  }
+  return Status::Internal("unknown noise mechanism");
+}
+
+}  // namespace bolton

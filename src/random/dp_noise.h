@@ -1,0 +1,54 @@
+#ifndef BOLTON_RANDOM_DP_NOISE_H_
+#define BOLTON_RANDOM_DP_NOISE_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// The two output-perturbation mechanisms of the paper.
+///
+/// * `kLaplace` — pure ε-differential privacy via the spherical Laplace
+///   ("gamma") mechanism of Theorem 1 / Appendix E: density
+///   p(κ) ∝ exp(−ε‖κ‖ / Δ₂). Sampled as (direction uniform on the unit
+///   sphere) × (magnitude ~ Gamma(d, Δ₂/ε)).
+/// * `kGaussian` — (ε, δ)-differential privacy via the Gaussian mechanism of
+///   Theorem 3: iid N(0, σ²) per coordinate with
+///   σ = √(2 ln(1.25/δ)) · Δ₂ / ε, requiring ε ∈ (0, 1).
+enum class NoiseMechanism { kLaplace, kGaussian };
+
+/// Draws κ with density p(κ) ∝ exp(−ε‖κ‖/Δ₂) in R^dim (Theorem 1).
+/// ‖κ‖ is then Gamma(dim, Δ₂/ε)-distributed, matching Theorem 2's tail
+/// bound. Requires dim ≥ 1, sensitivity ≥ 0, epsilon > 0. A zero
+/// sensitivity yields the zero vector (nothing to hide).
+Result<Vector> SampleSphericalLaplace(size_t dim, double sensitivity,
+                                      double epsilon, Rng* rng);
+
+/// The Gaussian-mechanism noise scale of Theorem 3:
+/// σ = √(2 ln(1.25/δ)) · Δ₂ / ε. Requires ε ∈ (0, 1) and δ ∈ (0, 1).
+Result<double> GaussianMechanismSigma(double sensitivity, double epsilon,
+                                      double delta);
+
+/// Draws iid N(0, σ²) noise per Theorem 3. Same argument requirements as
+/// GaussianMechanismSigma.
+Result<Vector> SampleGaussianMechanism(size_t dim, double sensitivity,
+                                       double epsilon, double delta, Rng* rng);
+
+/// Theorem 2's high-probability bound on the Laplace-mechanism noise norm:
+/// with probability ≥ 1−γ, ‖κ‖ ≤ d ln(d/γ) Δ₂ / ε. Used by tests and by the
+/// utility analysis in EXPERIMENTS.md.
+double LaplaceNoiseNormBound(size_t dim, double sensitivity, double epsilon,
+                             double gamma);
+
+/// Convenience dispatcher: samples noise for the selected mechanism.
+/// `delta` is ignored for kLaplace.
+Result<Vector> SampleDpNoise(NoiseMechanism mechanism, size_t dim,
+                             double sensitivity, double epsilon, double delta,
+                             Rng* rng);
+
+}  // namespace bolton
+
+#endif  // BOLTON_RANDOM_DP_NOISE_H_

@@ -1,0 +1,14 @@
+#include "random/permutation.h"
+
+#include <numeric>
+
+namespace bolton {
+
+std::vector<size_t> RandomPermutation(size_t n, Rng* rng) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  ShuffleInPlace(&perm, rng);
+  return perm;
+}
+
+}  // namespace bolton

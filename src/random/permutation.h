@@ -1,0 +1,28 @@
+#ifndef BOLTON_RANDOM_PERMUTATION_H_
+#define BOLTON_RANDOM_PERMUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bolton {
+
+/// A uniformly random permutation of {0, 1, ..., n-1} (Fisher–Yates).
+/// This is the permutation τ sampled once at the start of PSGD, and the
+/// engine's equivalent of Bismarck's `ORDER BY RANDOM()` shuffle.
+std::vector<size_t> RandomPermutation(size_t n, Rng* rng);
+
+/// Shuffles `items` in place with Fisher–Yates.
+template <typename T>
+void ShuffleInPlace(std::vector<T>* items, Rng* rng) {
+  if (items->size() < 2) return;
+  for (size_t i = items->size() - 1; i > 0; --i) {
+    size_t j = rng->UniformInt(i + 1);
+    std::swap((*items)[i], (*items)[j]);
+  }
+}
+
+}  // namespace bolton
+
+#endif  // BOLTON_RANDOM_PERMUTATION_H_

@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace bolton {
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           std::string help) {
+  entries_[name] = Entry{Kind::kDouble, target, std::move(help),
+                         StrFormat("%g", *target)};
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        std::string help) {
+  entries_[name] = Entry{Kind::kInt, target, std::move(help),
+                         StrFormat("%lld", static_cast<long long>(*target))};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         std::string help) {
+  entries_[name] =
+      Entry{Kind::kBool, target, std::move(help), *target ? "true" : "false"};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           std::string help) {
+  entries_[name] = Entry{Kind::kString, target, std::move(help), *target};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Entry& e = it->second;
+  switch (e.kind) {
+    case Kind::kDouble: {
+      auto r = ParseDouble(value);
+      if (!r.ok()) return r.status().WithContext("--" + name);
+      *static_cast<double*>(e.target) = r.value();
+      return Status::OK();
+    }
+    case Kind::kInt: {
+      auto r = ParseInt(value);
+      if (!r.ok()) return r.status().WithContext("--" + name);
+      *static_cast<int64_t*>(e.target) = r.value();
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(e.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(e.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + name + ": expected bool, got '" +
+                                       value + "'");
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(e.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("corrupt flag entry");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      BOLTON_RETURN_IF_ERROR(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` form, except booleans which may stand alone.
+    auto it = entries_.find(body);
+    if (it == entries_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.kind == Kind::kBool) {
+      BOLTON_RETURN_IF_ERROR(SetValue(body, ""));
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + body + " expects a value");
+      }
+      BOLTON_RETURN_IF_ERROR(SetValue(body, argv[++i]));
+    }
+  }
+  return Status::OK();
+}
+
+void FlagParser::PrintHelp(const std::string& program) const {
+  std::printf("usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, e] : entries_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), e.help.c_str(),
+                e.default_repr.c_str());
+  }
+}
+
+}  // namespace bolton

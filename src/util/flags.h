@@ -1,0 +1,67 @@
+#ifndef BOLTON_UTIL_FLAGS_H_
+#define BOLTON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bolton {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+///
+/// Accepts `--name=value` and `--name value` forms plus bare `--name` for
+/// booleans. Unknown flags are an error so typos fail loudly. Positional
+/// arguments are collected in order.
+///
+///     FlagParser flags;
+///     double eps = 1.0;
+///     flags.AddDouble("epsilon", &eps, "privacy budget");
+///     flags.Parse(argc, argv).CheckOK();
+class FlagParser {
+ public:
+  FlagParser() = default;
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  /// Registers a flag bound to `*target` (which holds the default value).
+  /// `help` is shown by PrintHelp(). Targets must outlive Parse().
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddInt(const std::string& name, int64_t* target, std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+  void AddString(const std::string& name, std::string* target, std::string help);
+
+  /// Parses argv; fills bound targets. Returns InvalidArgument on unknown
+  /// flags or malformed values. Recognizes --help by setting help_requested().
+  Status Parse(int argc, char** argv);
+
+  /// True if --help was seen; caller should PrintHelp() and exit.
+  bool help_requested() const { return help_requested_; }
+
+  /// Writes a usage summary for all registered flags to stdout.
+  void PrintHelp(const std::string& program) const;
+
+  /// Arguments that were not flags, in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Kind { kDouble, kInt, kBool, kString };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_FLAGS_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bolton {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level) {
+  if (enabled_) {
+    // Keep just the basename; full paths add noise to log lines.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "[F %s:%d] check failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace bolton

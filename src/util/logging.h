@@ -1,0 +1,60 @@
+#ifndef BOLTON_UTIL_LOGGING_H_
+#define BOLTON_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bolton {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Not thread-synchronized by design: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+/// Use via the BOLTON_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Logs "check failed: <expr>" at the given location and aborts.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+
+}  // namespace internal
+
+/// Usage: BOLTON_LOG(kInfo) << "trained in " << secs << "s";
+#define BOLTON_LOG(severity)                                          \
+  ::bolton::internal::LogMessage(::bolton::LogLevel::severity,        \
+                                 __FILE__, __LINE__)
+
+/// Debug-and-release invariant check; aborts with a message on failure.
+/// Used for programmer errors (violated preconditions inside the library),
+/// never for data-dependent failures, which return Status.
+#define BOLTON_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) ::bolton::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_LOGGING_H_

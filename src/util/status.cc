@@ -1,0 +1,49 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bolton {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace bolton

@@ -1,0 +1,167 @@
+#include "core/bst14.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeData(size_t m = 500, uint64_t seed = 131) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 10;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST(SolveEpsilon1Test, SatisfiesLine5Equation) {
+  const double epsilon = 0.5;
+  const size_t T = 5000;
+  const double delta1 = 1e-6 / T;
+  auto eps1 = SolveBst14Epsilon1(epsilon, delta1, T);
+  ASSERT_TRUE(eps1.ok());
+  double e1 = eps1.value();
+  EXPECT_GT(e1, 0.0);
+  double lhs = T * e1 * (std::exp(e1) - 1.0) +
+               std::sqrt(2.0 * T * std::log(1.0 / delta1)) * e1;
+  EXPECT_NEAR(lhs, epsilon, 1e-9);
+}
+
+TEST(SolveEpsilon1Test, MonotoneInEpsilon) {
+  const size_t T = 1000;
+  const double delta1 = 1e-8;
+  double prev = 0.0;
+  for (double eps : {0.1, 0.5, 1.0, 4.0}) {
+    double e1 = SolveBst14Epsilon1(eps, delta1, T).value();
+    EXPECT_GT(e1, prev);
+    prev = e1;
+  }
+}
+
+TEST(SolveEpsilon1Test, Validation) {
+  EXPECT_FALSE(SolveBst14Epsilon1(0.0, 1e-6, 100).ok());
+  EXPECT_FALSE(SolveBst14Epsilon1(1.0, 0.0, 100).ok());
+  EXPECT_FALSE(SolveBst14Epsilon1(1.0, 1.5, 100).ok());
+  EXPECT_FALSE(SolveBst14Epsilon1(1.0, 1e-6, 0).ok());
+}
+
+TEST(Bst14Test, RequiresPositiveDelta) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{1.0, 0.0};  // pure ε: unsupported
+  options.radius = 5.0;
+  Rng rng(1);
+  EXPECT_EQ(RunBst14Convex(data, *loss, options, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Bst14Test, ConvexNeedsFiniteRadius) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.radius = 0.0;  // falls back to the loss's +inf radius
+  Rng rng(2);
+  EXPECT_EQ(RunBst14Convex(data, *loss, options, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Bst14Test, ConvexRunProducesCalibration) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.passes = 2;
+  options.batch_size = 25;
+  options.radius = 5.0;
+  Rng rng(3);
+  auto out = RunBst14Convex(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().epsilon1, 0.0);
+  EXPECT_GT(out.value().epsilon2, 0.0);
+  EXPECT_LE(out.value().epsilon2, 1.0);
+  EXPECT_GT(out.value().sigma_squared, 0.0);
+  // Noise drawn at every update: T = k·⌈m/b⌉ = 2·20 = 40.
+  EXPECT_EQ(out.value().stats.noise_samples, 40u);
+  // Projection keeps the model inside R.
+  EXPECT_LE(out.value().model.Norm(), 5.0 + 1e-9);
+}
+
+TEST(Bst14Test, StronglyConvexRuns) {
+  Dataset data = MakeData();
+  const double lambda = 0.01;
+  auto loss = MakeLogisticLoss(lambda, 1.0 / lambda).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.passes = 2;
+  options.batch_size = 25;
+  Rng rng(4);
+  auto out = RunBst14StronglyConvex(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out.value().model.Norm(), 1.0 / lambda + 1e-9);
+}
+
+TEST(Bst14Test, DispatchMatchesConvexity) {
+  Dataset data = MakeData();
+  auto convex = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto strong = MakeLogisticLoss(0.01, 100.0).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.passes = 1;
+  options.batch_size = 50;
+  options.radius = 5.0;
+  Rng rng(5);
+  EXPECT_TRUE(RunBst14(data, *convex, options, &rng).ok());
+  EXPECT_TRUE(RunBst14(data, *strong, options, &rng).ok());
+  // Wrong algorithm for the loss is rejected.
+  EXPECT_FALSE(RunBst14Convex(data, *strong, options, &rng).ok());
+  EXPECT_FALSE(RunBst14StronglyConvex(data, *convex, options, &rng).ok());
+}
+
+TEST(Bst14Test, MoreIterationsMeanSmallerPerStepBudget) {
+  // The constant-epoch extension's point: fewer iterations ⇒ less noise per
+  // iteration. ε₁ must shrink as T grows.
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Bst14Options few, many;
+  few.privacy = many.privacy = PrivacyParams{0.5, 1e-6};
+  few.passes = 1;
+  many.passes = 10;
+  few.batch_size = many.batch_size = 10;
+  few.radius = many.radius = 5.0;
+  Rng rng_a(6), rng_b(7);
+  double eps1_few = RunBst14Convex(data, *loss, few, &rng_a).value().epsilon1;
+  double eps1_many =
+      RunBst14Convex(data, *loss, many, &rng_b).value().epsilon1;
+  EXPECT_GT(eps1_few, eps1_many);
+}
+
+TEST(Bst14Test, LargerBatchReducesNoiseVariance) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Bst14Options small, large;
+  small.privacy = large.privacy = PrivacyParams{0.5, 1e-6};
+  small.passes = large.passes = 2;
+  small.batch_size = 1;
+  large.batch_size = 50;
+  small.radius = large.radius = 5.0;
+  Rng rng_a(8), rng_b(9);
+  double sigma2_small =
+      RunBst14Convex(data, *loss, small, &rng_a).value().sigma_squared;
+  double sigma2_large =
+      RunBst14Convex(data, *loss, large, &rng_b).value().sigma_squared;
+  EXPECT_GT(sigma2_small, sigma2_large);
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end smoke test of the boltondp CLI: datagen -> train -> evaluate,
+# exercising the LIBSVM round trip, model persistence, and every
+# algorithm's CLI path. Invoked by ctest with the CLI binary path as $1.
+set -eu
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Generate a small dataset pair.
+"$CLI" datagen --dataset protein --scale 0.01 --seed 3 \
+    --out "$WORKDIR/train.libsvm" > "$WORKDIR/datagen.log"
+test -s "$WORKDIR/train.libsvm"
+test -s "$WORKDIR/train.libsvm.test"
+
+# Train with each algorithm and evaluate on the held-out file.
+for algo in noiseless ours scs13; do
+  "$CLI" train --data "$WORKDIR/train.libsvm" --algo "$algo" \
+      --epsilon 4 --lambda 0.01 --passes 5 --batch 10 \
+      --model "$WORKDIR/$algo.model" > "$WORKDIR/$algo.train.log"
+  test -s "$WORKDIR/$algo.model"
+  "$CLI" evaluate --data "$WORKDIR/train.libsvm.test" \
+      --model "$WORKDIR/$algo.model" > "$WORKDIR/$algo.eval.log"
+  grep -q "acc=" "$WORKDIR/$algo.eval.log"
+done
+
+# BST14 needs delta > 0.
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo bst14 \
+    --epsilon 0.5 --delta 1e-6 --lambda 0.01 --passes 2 --batch 10 \
+    --model "$WORKDIR/bst14.model" > "$WORKDIR/bst14.train.log"
+test -s "$WORKDIR/bst14.model"
+
+# The noiseless model must classify the held-out set well.
+acc=$(grep -o 'acc=[0-9.]*' "$WORKDIR/noiseless.eval.log" | head -1 | cut -d= -f2)
+ok=$(awk -v a="$acc" 'BEGIN { print (a > 0.8) ? 1 : 0 }')
+if [ "$ok" != "1" ]; then
+  echo "noiseless CLI accuracy too low: $acc" >&2
+  exit 1
+fi
+
+# Unknown subcommands and flags fail loudly.
+if "$CLI" frobnicate > /dev/null 2>&1; then
+  echo "unknown subcommand should fail" >&2
+  exit 1
+fi
+
+echo "cli smoke test passed (noiseless acc=$acc)"

@@ -1,0 +1,151 @@
+// Convergence property sweeps: every supported (loss, schedule) pairing
+// must reduce empirical risk and reach sensible accuracy within a few
+// passes — the optimization-quality counterpart to the privacy sweeps in
+// sensitivity_test.cc. Parameterized so each combination is one test case.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "optim/schedule.h"
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ConvergenceCase {
+  std::string label;
+  enum Loss { kLogistic, kHuber, kSquared } loss;
+  enum Schedule { kConstant, kInverseTime, kInverseSqrt, kDecreasing } schedule;
+  double lambda;
+};
+
+class ConvergenceSweep : public ::testing::TestWithParam<ConvergenceCase> {
+ protected:
+  static Dataset MakeData() {
+    SyntheticConfig config;
+    config.num_examples = 800;
+    config.dim = 10;
+    config.margin = 2.0;
+    config.noise_stddev = 0.5;
+    config.seed = 261;
+    return GenerateSynthetic(config).MoveValue();
+  }
+
+  static std::unique_ptr<LossFunction> MakeLoss(const ConvergenceCase& c) {
+    const double radius = c.lambda > 0.0 ? 1.0 / c.lambda : kInf;
+    switch (c.loss) {
+      case ConvergenceCase::kLogistic:
+        return MakeLogisticLoss(c.lambda, radius).MoveValue();
+      case ConvergenceCase::kHuber:
+        return MakeHuberSvmLoss(0.1, c.lambda, radius).MoveValue();
+      case ConvergenceCase::kSquared:
+        return MakeSquaredLoss(c.lambda, c.lambda > 0.0 ? radius : 10.0)
+            .MoveValue();
+    }
+    return nullptr;
+  }
+
+  static std::unique_ptr<StepSizeSchedule> MakeSchedule(
+      const ConvergenceCase& c, const LossFunction& loss, size_t m) {
+    switch (c.schedule) {
+      case ConvergenceCase::kConstant:
+        return MakeConstantStep(1.0 / std::sqrt(static_cast<double>(m)))
+            .MoveValue();
+      case ConvergenceCase::kInverseTime:
+        return MakeInverseTimeStep(loss.strong_convexity(), loss.smoothness())
+            .MoveValue();
+      case ConvergenceCase::kInverseSqrt:
+        return MakeInverseSqrtStep(1.0).MoveValue();
+      case ConvergenceCase::kDecreasing:
+        return MakeDecreasingStep(loss.smoothness(), m, 0.5).MoveValue();
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(ConvergenceSweep, RiskDecreasesAndModelClassifies) {
+  const ConvergenceCase c = GetParam();
+  Dataset data = MakeData();
+  auto loss = MakeLoss(c);
+  auto schedule = MakeSchedule(c, *loss, data.size());
+
+  PsgdOptions options;
+  options.passes = 10;
+  options.batch_size = 10;
+  options.radius = loss->radius();
+  // Squared loss without regularization carries a synthetic radius; keep
+  // the hypothesis inside it.
+  if (c.loss == ConvergenceCase::kSquared && c.lambda == 0.0) {
+    options.radius = 10.0;
+  }
+
+  Rng rng(1);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  double trained_risk = loss->EmpiricalRisk(run.value().model, data);
+  double zero_risk = loss->EmpiricalRisk(Vector(data.dim()), data);
+  EXPECT_LT(trained_risk, zero_risk) << c.label;
+  EXPECT_GT(BinaryAccuracy(run.value().model, data), 0.85) << c.label;
+}
+
+// Monotone improvement over passes (up to small SGD noise): the risk after
+// k passes must not be dramatically worse than after k/2 passes.
+TEST_P(ConvergenceSweep, MorePassesDoNotRegressBadly) {
+  const ConvergenceCase c = GetParam();
+  Dataset data = MakeData();
+  auto loss = MakeLoss(c);
+  auto schedule = MakeSchedule(c, *loss, data.size());
+
+  PsgdOptions options;
+  options.batch_size = 10;
+  options.radius = loss->radius();
+  if (c.loss == ConvergenceCase::kSquared && c.lambda == 0.0) {
+    options.radius = 10.0;
+  }
+
+  options.passes = 5;
+  Rng rng_short(2);
+  auto short_run = RunPsgd(data, *loss, *schedule, options, &rng_short);
+  options.passes = 10;
+  Rng rng_long(2);
+  auto long_run = RunPsgd(data, *loss, *schedule, options, &rng_long);
+  ASSERT_TRUE(short_run.ok() && long_run.ok());
+
+  double short_risk = loss->EmpiricalRisk(short_run.value().model, data);
+  double long_risk = loss->EmpiricalRisk(long_run.value().model, data);
+  EXPECT_LT(long_risk, short_risk * 1.2 + 1e-6) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvergenceSweep,
+    ::testing::Values(
+        ConvergenceCase{"logistic_constant", ConvergenceCase::kLogistic,
+                        ConvergenceCase::kConstant, 0.0},
+        ConvergenceCase{"logistic_inverse_sqrt", ConvergenceCase::kLogistic,
+                        ConvergenceCase::kInverseSqrt, 0.0},
+        ConvergenceCase{"logistic_decreasing", ConvergenceCase::kLogistic,
+                        ConvergenceCase::kDecreasing, 0.0},
+        ConvergenceCase{"logistic_l2_inverse_time",
+                        ConvergenceCase::kLogistic,
+                        ConvergenceCase::kInverseTime, 1e-3},
+        ConvergenceCase{"huber_constant", ConvergenceCase::kHuber,
+                        ConvergenceCase::kConstant, 0.0},
+        ConvergenceCase{"huber_l2_inverse_time", ConvergenceCase::kHuber,
+                        ConvergenceCase::kInverseTime, 1e-3},
+        ConvergenceCase{"squared_constant", ConvergenceCase::kSquared,
+                        ConvergenceCase::kConstant, 0.0},
+        ConvergenceCase{"squared_l2_inverse_time", ConvergenceCase::kSquared,
+                        ConvergenceCase::kInverseTime, 1e-2}),
+    [](const ::testing::TestParamInfo<ConvergenceCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace bolton

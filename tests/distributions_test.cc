@@ -1,0 +1,126 @@
+#include "random/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+// Gamma(shape, scale): mean = shape·scale, variance = shape·scale².
+// Property sweep across the shapes the Laplace mechanism actually uses
+// (shape = d for d-dimensional models) plus sub-1 shapes for the boost path.
+class GammaMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatch) {
+  const double shape = GetParam();
+  const double scale = 2.0;
+  Rng rng(static_cast<uint64_t>(shape * 1000) + 1);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleGamma(shape, scale, &rng);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  double expected_mean = shape * scale;
+  double expected_var = shape * scale * scale;
+  EXPECT_NEAR(mean, expected_mean, 0.05 * expected_mean + 0.02);
+  EXPECT_NEAR(var, expected_var, 0.10 * expected_var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMomentsTest,
+                         ::testing::Values(0.3, 0.7, 1.0, 2.0, 5.0, 50.0));
+
+TEST(ExponentialTest, MeanMatchesScale) {
+  Rng rng(21);
+  const double scale = 3.0;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(scale, &rng);
+  EXPECT_NEAR(sum / n, scale, 0.06);
+}
+
+TEST(LaplaceTest, SymmetricWithCorrectVariance) {
+  Rng rng(22);
+  const double scale = 1.5;
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleLaplace(scale, &rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  // Var(Laplace(b)) = 2b².
+  EXPECT_NEAR(sum_sq / n, 2.0 * scale * scale, 0.1 * 2.0 * scale * scale);
+}
+
+TEST(UnitSphereTest, UnitNormAllDimensions) {
+  Rng rng(23);
+  for (size_t dim : {1u, 2u, 5u, 50u, 784u}) {
+    Vector v = SampleUnitSphere(dim, &rng);
+    ASSERT_EQ(v.dim(), dim);
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(UnitSphereTest, MeanIsNearZero) {
+  Rng rng(24);
+  const size_t dim = 10;
+  const int n = 50000;
+  Vector mean(dim);
+  for (int i = 0; i < n; ++i) mean += SampleUnitSphere(dim, &rng);
+  mean *= 1.0 / n;
+  // Each coordinate has variance 1/dim; the mean-of-n has sd ~ 1/sqrt(n·dim).
+  EXPECT_LT(mean.Norm(), 0.05);
+}
+
+TEST(UnitBallTest, InsideBall) {
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) {
+    Vector v = SampleUnitBall(5, &rng);
+    EXPECT_LE(v.Norm(), 1.0 + 1e-12);
+  }
+}
+
+TEST(UnitBallTest, RadiusDistributionCorrect) {
+  // P(‖v‖ ≤ r) = r^d for the uniform ball; check the median.
+  Rng rng(26);
+  const size_t dim = 3;
+  const int n = 100000;
+  int below_median_radius = 0;
+  const double median_radius = std::pow(0.5, 1.0 / dim);
+  for (int i = 0; i < n; ++i) {
+    if (SampleUnitBall(dim, &rng).Norm() <= median_radius) {
+      ++below_median_radius;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below_median_radius) / n, 0.5, 0.01);
+}
+
+TEST(GaussianVectorTest, MomentsMatch) {
+  Rng rng(27);
+  const size_t dim = 20;
+  const double sigma = 2.5;
+  const int n = 20000;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum_sq += SampleGaussianVector(dim, sigma, &rng).SquaredNorm();
+  }
+  // E‖v‖² = d·σ².
+  double expected = dim * sigma * sigma;
+  EXPECT_NEAR(sum_sq / n, expected, 0.03 * expected);
+}
+
+TEST(GaussianVectorTest, ZeroSigmaIsZeroVector) {
+  Rng rng(28);
+  Vector v = SampleGaussianVector(4, 0.0, &rng);
+  EXPECT_EQ(v, Vector(4));
+}
+
+}  // namespace
+}  // namespace bolton

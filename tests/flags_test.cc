@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+// Builds argv from string literals for Parse().
+class FlagsTest : public ::testing::Test {
+ protected:
+  Status Parse(std::vector<std::string> args) {
+    args.insert(args.begin(), "prog");
+    std::vector<char*> argv;
+    storage_ = std::move(args);
+    for (auto& s : storage_) argv.push_back(s.data());
+    return parser_.Parse(static_cast<int>(argv.size()), argv.data());
+  }
+
+  FlagParser parser_;
+  std::vector<std::string> storage_;
+};
+
+TEST_F(FlagsTest, ParsesEqualsForm) {
+  double eps = 1.0;
+  int64_t passes = 10;
+  parser_.AddDouble("epsilon", &eps, "budget");
+  parser_.AddInt("passes", &passes, "k");
+  ASSERT_TRUE(Parse({"--epsilon=0.5", "--passes=20"}).ok());
+  EXPECT_DOUBLE_EQ(eps, 0.5);
+  EXPECT_EQ(passes, 20);
+}
+
+TEST_F(FlagsTest, ParsesSpaceForm) {
+  std::string dataset = "mnist";
+  parser_.AddString("dataset", &dataset, "name");
+  ASSERT_TRUE(Parse({"--dataset", "protein"}).ok());
+  EXPECT_EQ(dataset, "protein");
+}
+
+TEST_F(FlagsTest, BoolFormsAndBareFlag) {
+  bool verbose = false;
+  parser_.AddBool("verbose", &verbose, "talk");
+  ASSERT_TRUE(Parse({"--verbose"}).ok());
+  EXPECT_TRUE(verbose);
+
+  FlagParser p2;
+  bool flag = true;
+  p2.AddBool("flag", &flag, "");
+  std::string a0 = "prog", a1 = "--flag=false";
+  char* argv[] = {a0.data(), a1.data()};
+  ASSERT_TRUE(p2.Parse(2, argv).ok());
+  EXPECT_FALSE(flag);
+}
+
+TEST_F(FlagsTest, UnknownFlagFailsLoudly) {
+  EXPECT_EQ(Parse({"--nope=1"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlagsTest, MalformedValueFails) {
+  double eps = 1.0;
+  parser_.AddDouble("epsilon", &eps, "budget");
+  EXPECT_FALSE(Parse({"--epsilon=abc"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueFails) {
+  double eps = 1.0;
+  parser_.AddDouble("epsilon", &eps, "budget");
+  EXPECT_FALSE(Parse({"--epsilon"}).ok());
+}
+
+TEST_F(FlagsTest, PositionalCollected) {
+  ASSERT_TRUE(Parse({"input.csv", "output.csv"}).ok());
+  EXPECT_EQ(parser_.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST_F(FlagsTest, HelpRequested) {
+  ASSERT_TRUE(Parse({"--help"}).ok());
+  EXPECT_TRUE(parser_.help_requested());
+}
+
+TEST_F(FlagsTest, DefaultsUntouchedWhenAbsent) {
+  double eps = 2.5;
+  parser_.AddDouble("epsilon", &eps, "budget");
+  ASSERT_TRUE(Parse({}).ok());
+  EXPECT_DOUBLE_EQ(eps, 2.5);
+}
+
+}  // namespace
+}  // namespace bolton

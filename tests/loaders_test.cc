@@ -1,0 +1,135 @@
+#include "data/loaders.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+class LoadersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "loaders_test_file.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(LoadersTest, LibsvmRoundTrip) {
+  Dataset ds(3, 2);
+  ds.Add(Example{Vector{0.5, 0.0, -1.25}, +1});
+  ds.Add(Example{Vector{0.0, 2.0, 0.0}, -1});
+  ASSERT_TRUE(SaveLibsvm(ds, path_).ok());
+
+  auto loaded = LoadLibsvm(path_, 3);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].x, ds[0].x);
+  EXPECT_EQ(loaded.value()[0].label, +1);
+  EXPECT_EQ(loaded.value()[1].x, ds[1].x);
+  EXPECT_EQ(loaded.value()[1].label, -1);
+}
+
+TEST_F(LoadersTest, LibsvmInfersDimension) {
+  WriteFile("1 1:0.5 4:1.0\n-1 2:0.25\n");
+  auto loaded = LoadLibsvm(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().dim(), 4u);
+  EXPECT_DOUBLE_EQ(loaded.value()[0].x[3], 1.0);
+  EXPECT_DOUBLE_EQ(loaded.value()[1].x[1], 0.25);
+}
+
+TEST_F(LoadersTest, LibsvmMapsZeroOneLabels) {
+  WriteFile("0 1:1.0\n1 1:2.0\n");
+  auto loaded = LoadLibsvm(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()[0].label, -1);
+  EXPECT_EQ(loaded.value()[1].label, +1);
+}
+
+TEST_F(LoadersTest, LibsvmSkipsCommentsAndBlanks) {
+  WriteFile("# header comment\n\n1 1:1.0\n");
+  auto loaded = LoadLibsvm(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+}
+
+TEST_F(LoadersTest, LibsvmRejectsMalformedFeature) {
+  WriteFile("1 1-0.5\n");
+  EXPECT_FALSE(LoadLibsvm(path_).ok());
+}
+
+TEST_F(LoadersTest, LibsvmRejectsZeroBasedIndex) {
+  WriteFile("1 0:0.5\n");
+  EXPECT_FALSE(LoadLibsvm(path_).ok());
+}
+
+TEST_F(LoadersTest, LibsvmRejectsIndexBeyondDeclaredDim) {
+  WriteFile("1 5:0.5\n");
+  EXPECT_EQ(LoadLibsvm(path_, 3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LoadersTest, LibsvmMissingFileIsIOError) {
+  EXPECT_EQ(LoadLibsvm("/nonexistent/file").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(LoadersTest, LibsvmEmptyFileIsError) {
+  WriteFile("");
+  EXPECT_FALSE(LoadLibsvm(path_).ok());
+}
+
+TEST_F(LoadersTest, CsvParsesDenseRows) {
+  WriteFile("0.5,1.5,-1\n0.25,0.75,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().dim(), 2u);
+  EXPECT_EQ(loaded.value()[0].x, (Vector{0.5, 1.5}));
+  EXPECT_EQ(loaded.value()[0].label, -1);
+  EXPECT_EQ(loaded.value()[1].label, +1);
+}
+
+TEST_F(LoadersTest, CsvSkipsHeaderRow) {
+  WriteFile("f1,f2,label\n0.5,1.5,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+}
+
+TEST_F(LoadersTest, CsvMapsZeroOneLabels) {
+  WriteFile("1.0,0\n2.0,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()[0].label, -1);
+  EXPECT_EQ(loaded.value()[1].label, +1);
+}
+
+TEST_F(LoadersTest, CsvRejectsRaggedRows) {
+  WriteFile("1.0,2.0,1\n3.0,1\n");
+  EXPECT_FALSE(LoadCsv(path_).ok());
+}
+
+TEST_F(LoadersTest, CsvRejectsFractionalLabels) {
+  WriteFile("1.0,0.5\n");
+  EXPECT_FALSE(LoadCsv(path_).ok());
+}
+
+TEST_F(LoadersTest, CsvMulticlassKeepsClassIds) {
+  WriteFile("1.0,0\n2.0,1\n3.0,2\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_classes(), 3);
+  EXPECT_EQ(loaded.value()[2].label, 2);
+}
+
+}  // namespace
+}  // namespace bolton

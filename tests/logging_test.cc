@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "visible " << 42;
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[I "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "hidden";
+  BOLTON_LOG(kWarning) << "also hidden";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysVisibleAtDefault) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kError) << "bad thing";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("bad thing"), std::string::npos);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  // BOLTON_CHECK(true) must not abort or print.
+  ::testing::internal::CaptureStderr();
+  BOLTON_CHECK(1 + 1 == 2);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(BOLTON_CHECK(false), "check failed: false");
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,114 @@
+#include "core/objective_perturbation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "ml/trainer.h"
+
+namespace bolton {
+namespace {
+
+Dataset MakeData(size_t m = 800, uint64_t seed = 291) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 10;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST(ObjectivePerturbationTest, BudgetSplitMatchesCms11) {
+  Dataset data = MakeData();
+  ObjectivePerturbationOptions options;
+  options.epsilon = 1.0;
+  options.lambda = 0.01;
+  options.passes = 2;
+  Rng rng(1);
+  auto out = RunObjectivePerturbation(data, options, &rng);
+  ASSERT_TRUE(out.ok());
+  double expected =
+      1.0 - 2.0 * std::log(1.0 + 0.25 / (800.0 * 0.01));
+  EXPECT_NEAR(out.value().epsilon_prime, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(out.value().effective_lambda, 0.01);
+}
+
+TEST(ObjectivePerturbationTest, TinyLambdaIsRaised) {
+  Dataset data = MakeData(100, 292);
+  ObjectivePerturbationOptions options;
+  options.epsilon = 0.1;
+  options.lambda = 1e-9;  // leaves no budget for the noise term
+  options.passes = 2;
+  Rng rng(2);
+  auto out = RunObjectivePerturbation(data, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().effective_lambda, 1e-9);
+  EXPECT_DOUBLE_EQ(out.value().epsilon_prime, 0.05);  // ε/2
+}
+
+TEST(ObjectivePerturbationTest, LargeEpsilonApproachesNoiseless) {
+  Dataset data = MakeData(1500, 293);
+  ObjectivePerturbationOptions options;
+  options.epsilon = 50.0;
+  options.lambda = 1e-3;
+  options.passes = 20;
+  Rng rng(3);
+  auto out = RunObjectivePerturbation(data, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(BinaryAccuracy(out.value().model, data), 0.9);
+}
+
+TEST(ObjectivePerturbationTest, NoiseNormShrinksWithEpsilon) {
+  Dataset data = MakeData(400, 294);
+  auto mean_norm = [&](double eps) {
+    double total = 0.0;
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+      ObjectivePerturbationOptions options;
+      options.epsilon = eps;
+      options.lambda = 0.01;
+      options.passes = 1;
+      Rng rng(100 + seed);
+      total +=
+          RunObjectivePerturbation(data, options, &rng).value()
+              .perturbation_norm;
+    }
+    return total / 20.0;
+  };
+  // ‖b‖ ~ Gamma(d, 2/ε'): mean ∝ 1/ε'.
+  EXPECT_GT(mean_norm(0.5), 3.0 * mean_norm(4.0));
+}
+
+TEST(ObjectivePerturbationTest, ModelRespectsRadius) {
+  Dataset data = MakeData(300, 295);
+  ObjectivePerturbationOptions options;
+  options.epsilon = 0.5;
+  options.lambda = 0.05;
+  options.passes = 5;
+  Rng rng(4);
+  auto out = RunObjectivePerturbation(data, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out.value().model.Norm(),
+            1.0 / out.value().effective_lambda + 1e-9);
+}
+
+TEST(ObjectivePerturbationTest, Validation) {
+  Dataset data = MakeData(50, 296);
+  Dataset empty(10, 2);
+  Rng rng(5);
+  ObjectivePerturbationOptions options;
+  EXPECT_FALSE(RunObjectivePerturbation(empty, options, &rng).ok());
+  options.epsilon = 0.0;
+  EXPECT_FALSE(RunObjectivePerturbation(data, options, &rng).ok());
+  options = ObjectivePerturbationOptions{};
+  options.lambda = -1.0;
+  EXPECT_FALSE(RunObjectivePerturbation(data, options, &rng).ok());
+  options = ObjectivePerturbationOptions{};
+  options.passes = 0;
+  EXPECT_FALSE(RunObjectivePerturbation(data, options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,40 @@
+#include "core/privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+TEST(PrivacyParamsTest, PureDetection) {
+  EXPECT_TRUE((PrivacyParams{1.0, 0.0}).IsPure());
+  EXPECT_FALSE((PrivacyParams{1.0, 1e-6}).IsPure());
+}
+
+TEST(PrivacyParamsTest, Validation) {
+  EXPECT_TRUE((PrivacyParams{0.1, 0.0}).Validate().ok());
+  EXPECT_TRUE((PrivacyParams{0.5, 1e-6}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{-1.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, -0.1}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 1.0}).Validate().ok());
+}
+
+TEST(PrivacyParamsTest, SplitEvenlyBasicComposition) {
+  PrivacyParams total{1.0, 1e-5};
+  PrivacyParams per = total.SplitEvenly(10);
+  EXPECT_DOUBLE_EQ(per.epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(per.delta, 1e-6);
+  // Splitting into one part is the identity.
+  PrivacyParams same = total.SplitEvenly(1);
+  EXPECT_DOUBLE_EQ(same.epsilon, total.epsilon);
+  EXPECT_DOUBLE_EQ(same.delta, total.delta);
+}
+
+TEST(PrivacyParamsTest, ToStringMentionsBudget) {
+  EXPECT_EQ((PrivacyParams{2.0, 0.0}).ToString(), "eps=2");
+  EXPECT_NE((PrivacyParams{0.5, 1e-6}).ToString().find("delta"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,262 @@
+#include "optim/psgd.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "optim/schedule.h"
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeTrainingSet(size_t m = 400, uint64_t seed = 81) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 10;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST(PsgdTest, ReducesEmpiricalRisk) {
+  Dataset data = MakeTrainingSet();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule =
+      MakeConstantStep(1.0 / std::sqrt(static_cast<double>(data.size())))
+          .MoveValue();
+  PsgdOptions options;
+  options.passes = 5;
+  Rng rng(1);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  double trained_risk = loss->EmpiricalRisk(run.value().model, data);
+  double zero_risk = loss->EmpiricalRisk(Vector(data.dim()), data);
+  EXPECT_LT(trained_risk, zero_risk);
+}
+
+TEST(PsgdTest, LearnsSeparableData) {
+  Dataset data = MakeTrainingSet(1000);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.5).MoveValue();
+  PsgdOptions options;
+  options.passes = 10;
+  options.batch_size = 10;
+  Rng rng(2);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(BinaryAccuracy(run.value().model, data), 0.9);
+}
+
+TEST(PsgdTest, StatsCountCorrectly) {
+  Dataset data = MakeTrainingSet(100);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 3;
+  options.batch_size = 7;  // 100 = 14*7 + 2: 15 updates per pass
+  Rng rng(3);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().stats.gradient_evaluations, 300u);
+  EXPECT_EQ(run.value().stats.updates, 45u);
+  EXPECT_EQ(run.value().stats.noise_samples, 0u);
+}
+
+TEST(PsgdTest, ProjectionKeepsIterateInBall) {
+  Dataset data = MakeTrainingSet(200);
+  auto loss = MakeLogisticLoss(0.1, 10.0).MoveValue();
+  auto schedule = MakeConstantStep(0.5).MoveValue();
+  PsgdOptions options;
+  options.passes = 5;
+  options.radius = 0.05;  // tiny ball; unconstrained training would escape
+  Rng rng(4);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run.value().model.Norm(), 0.05 + 1e-12);
+}
+
+TEST(PsgdTest, DeterministicForFixedSeed) {
+  Dataset data = MakeTrainingSet(150);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.2).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  Rng rng_a(5), rng_b(5);
+  auto a = RunPsgd(data, *loss, *schedule, options, &rng_a);
+  auto b = RunPsgd(data, *loss, *schedule, options, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().model, b.value().model);
+}
+
+TEST(PsgdTest, AveragingChangesOutput) {
+  Dataset data = MakeTrainingSet(150);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.2).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  Rng rng_a(6), rng_b(6);
+  options.output = OutputMode::kLastIterate;
+  auto last = RunPsgd(data, *loss, *schedule, options, &rng_a);
+  options.output = OutputMode::kAverageAll;
+  auto averaged = RunPsgd(data, *loss, *schedule, options, &rng_b);
+  ASSERT_TRUE(last.ok() && averaged.ok());
+  EXPECT_GT(Distance(last.value().model, averaged.value().model), 0.0);
+  // The average of iterates has smaller norm than the last (we start at 0
+  // and move outward on this data).
+  EXPECT_LT(averaged.value().model.Norm(), last.value().model.Norm());
+}
+
+TEST(PsgdTest, FullBatchEqualsGradientDescent) {
+  // With b = m, each pass is one full-gradient step — verify the single
+  // update against a hand-computed one.
+  Dataset data = MakeTrainingSet(50);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.3).MoveValue();
+  PsgdOptions options;
+  options.passes = 1;
+  options.batch_size = data.size();
+  Rng rng(7);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().stats.updates, 1u);
+
+  Vector w(data.dim());
+  Vector grad(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    loss->AddGradient(w, data[i], 1.0 / data.size(), &grad);
+  }
+  w.Axpy(-0.3, grad);
+  EXPECT_NEAR(Distance(run.value().model, w), 0.0, 1e-12);
+}
+
+TEST(PsgdTest, PassCallbackFiresPerPass) {
+  Dataset data = MakeTrainingSet(60);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 4;
+  Rng rng(8);
+  std::vector<size_t> passes_seen;
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng, nullptr,
+                     [&](size_t pass, const Vector& w) {
+                       passes_seen.push_back(pass);
+                       EXPECT_EQ(w.dim(), data.dim());
+                     });
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(passes_seen, (std::vector<size_t>{1, 2, 3, 4}));
+}
+
+TEST(PsgdTest, WithReplacementSamplingRuns) {
+  Dataset data = MakeTrainingSet(200);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeInverseSqrtStep(0.5).MoveValue();
+  PsgdOptions options;
+  options.passes = 3;
+  options.batch_size = 10;
+  options.sampling = SamplingMode::kWithReplacement;
+  Rng rng(9);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().stats.updates, 60u);
+  EXPECT_GT(BinaryAccuracy(run.value().model, data), 0.8);
+}
+
+TEST(PsgdTest, FreshPermutationStillLearns) {
+  Dataset data = MakeTrainingSet(300);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.3).MoveValue();
+  PsgdOptions options;
+  options.passes = 5;
+  options.fresh_permutation_each_pass = true;
+  Rng rng(10);
+  auto run = RunPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(BinaryAccuracy(run.value().model, data), 0.9);
+}
+
+// A per-step noise hook must be sampled once per update and added to the
+// gradient; a deterministic "noise" of zero must not change the output.
+class CountingNoise final : public GradientNoiseSource {
+ public:
+  Result<Vector> Sample(size_t, size_t dim, Rng*) override {
+    ++calls_;
+    return Vector(dim);
+  }
+  size_t calls() const { return calls_; }
+
+ private:
+  size_t calls_ = 0;
+};
+
+TEST(PsgdTest, NoiseHookSampledPerUpdate) {
+  Dataset data = MakeTrainingSet(100);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 10;
+  CountingNoise noise;
+  Rng rng_a(11), rng_b(11);
+  auto noisy = RunPsgd(data, *loss, *schedule, options, &rng_a, &noise);
+  auto clean = RunPsgd(data, *loss, *schedule, options, &rng_b);
+  ASSERT_TRUE(noisy.ok() && clean.ok());
+  EXPECT_EQ(noise.calls(), 20u);
+  EXPECT_EQ(noisy.value().stats.noise_samples, 20u);
+  EXPECT_EQ(noisy.value().model, clean.value().model);
+}
+
+class FailingNoise final : public GradientNoiseSource {
+ public:
+  Result<Vector> Sample(size_t, size_t, Rng*) override {
+    return Status::Internal("noise sampler broke");
+  }
+};
+
+TEST(PsgdTest, NoiseErrorPropagates) {
+  Dataset data = MakeTrainingSet(50);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  FailingNoise noise;
+  Rng rng(12);
+  EXPECT_EQ(RunPsgd(data, *loss, *schedule, options, &rng, &noise)
+                .status()
+                .code(),
+            StatusCode::kInternal);
+}
+
+TEST(PsgdTest, ValidationErrors) {
+  Dataset data = MakeTrainingSet(50);
+  Dataset empty(10, 2);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  Rng rng(13);
+
+  PsgdOptions options;
+  EXPECT_FALSE(RunPsgd(empty, *loss, *schedule, options, &rng).ok());
+
+  options = PsgdOptions{};
+  options.passes = 0;
+  EXPECT_FALSE(RunPsgd(data, *loss, *schedule, options, &rng).ok());
+
+  options = PsgdOptions{};
+  options.batch_size = 0;
+  EXPECT_FALSE(RunPsgd(data, *loss, *schedule, options, &rng).ok());
+
+  options = PsgdOptions{};
+  options.batch_size = data.size() + 1;
+  EXPECT_FALSE(RunPsgd(data, *loss, *schedule, options, &rng).ok());
+
+  options = PsgdOptions{};
+  options.radius = 0.0;
+  EXPECT_FALSE(RunPsgd(data, *loss, *schedule, options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,103 @@
+#include "optim/schedule.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ConstantStepTest, AlwaysSameValue) {
+  auto schedule = MakeConstantStep(0.25).MoveValue();
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1), 0.25);
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1000000), 0.25);
+  EXPECT_DOUBLE_EQ(schedule->MaxStepSize(), 0.25);
+}
+
+TEST(ConstantStepTest, RejectsNonPositive) {
+  EXPECT_FALSE(MakeConstantStep(0.0).ok());
+  EXPECT_FALSE(MakeConstantStep(-1.0).ok());
+}
+
+TEST(InverseTimeStepTest, MatchesMinFormula) {
+  // Algorithm 2: η_t = min(1/β, 1/(γt)).
+  const double gamma = 0.01, beta = 2.0;
+  auto schedule = MakeInverseTimeStep(gamma, beta).MoveValue();
+  // Early iterations are capped by 1/β.
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1), 0.5);
+  EXPECT_DOUBLE_EQ(schedule->StepSize(10), 0.5);
+  // After t > β/γ = 200, 1/(γt) takes over.
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1000), 1.0 / (gamma * 1000));
+  EXPECT_DOUBLE_EQ(schedule->MaxStepSize(), 0.5);
+}
+
+TEST(InverseTimeStepTest, InfiniteBetaIsPureInverseTime) {
+  // Table 4's noiseless strongly convex schedule 1/(γt).
+  auto schedule = MakeInverseTimeStep(0.5, kInf).MoveValue();
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1), 2.0);
+  EXPECT_DOUBLE_EQ(schedule->StepSize(4), 0.5);
+}
+
+TEST(InverseSqrtStepTest, MatchesFormula) {
+  auto schedule = MakeInverseSqrtStep(2.0).MoveValue();
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1), 2.0);
+  EXPECT_DOUBLE_EQ(schedule->StepSize(4), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->StepSize(100), 0.2);
+}
+
+TEST(DecreasingStepTest, MatchesCorollary2Formula) {
+  // η_t = 2/(β(t + m^c)).
+  const double beta = 1.0, c = 0.5;
+  const size_t m = 100;
+  auto schedule = MakeDecreasingStep(beta, m, c).MoveValue();
+  EXPECT_DOUBLE_EQ(schedule->StepSize(1), 2.0 / (1.0 + 10.0));
+  EXPECT_DOUBLE_EQ(schedule->StepSize(90), 2.0 / (90.0 + 10.0));
+}
+
+TEST(SqrtOffsetStepTest, MatchesCorollary3Formula) {
+  // η_t = 2/(β(√t + m^c)).
+  const double beta = 2.0, c = 0.5;
+  const size_t m = 100;
+  auto schedule = MakeSqrtOffsetStep(beta, m, c).MoveValue();
+  EXPECT_DOUBLE_EQ(schedule->StepSize(4), 2.0 / (2.0 * (2.0 + 10.0)));
+}
+
+TEST(ScheduleValidationTest, RejectsBadArguments) {
+  EXPECT_FALSE(MakeInverseTimeStep(0.0, 1.0).ok());
+  EXPECT_FALSE(MakeInverseTimeStep(1.0, 0.0).ok());
+  EXPECT_FALSE(MakeInverseSqrtStep(0.0).ok());
+  EXPECT_FALSE(MakeDecreasingStep(0.0, 100, 0.5).ok());
+  EXPECT_FALSE(MakeDecreasingStep(1.0, 0, 0.5).ok());
+  EXPECT_FALSE(MakeDecreasingStep(1.0, 100, 1.0).ok());
+  EXPECT_FALSE(MakeDecreasingStep(1.0, 100, -0.1).ok());
+  EXPECT_FALSE(MakeSqrtOffsetStep(1.0, 100, 1.5).ok());
+}
+
+TEST(ScheduleTest, DecreasingSchedulesAreMonotone) {
+  std::vector<std::unique_ptr<StepSizeSchedule>> schedules;
+  schedules.push_back(MakeInverseTimeStep(0.1, 1.0).MoveValue());
+  schedules.push_back(MakeInverseSqrtStep(1.0).MoveValue());
+  schedules.push_back(MakeDecreasingStep(1.0, 100, 0.5).MoveValue());
+  schedules.push_back(MakeSqrtOffsetStep(1.0, 100, 0.5).MoveValue());
+  for (const auto& s : schedules) {
+    for (size_t t = 1; t < 100; ++t) {
+      EXPECT_GE(s->StepSize(t), s->StepSize(t + 1)) << s->name() << " t=" << t;
+    }
+    EXPECT_DOUBLE_EQ(s->MaxStepSize(), s->StepSize(1)) << s->name();
+  }
+}
+
+TEST(ScheduleTest, CloneIsEquivalent) {
+  auto schedule = MakeInverseTimeStep(0.1, 2.0).MoveValue();
+  auto clone = schedule->Clone();
+  for (size_t t = 1; t <= 50; ++t) {
+    EXPECT_DOUBLE_EQ(schedule->StepSize(t), clone->StepSize(t));
+  }
+  EXPECT_EQ(schedule->name(), clone->name());
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,124 @@
+#include "core/scs13.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeData(size_t m = 500, uint64_t seed = 121) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 10;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST(Scs13Test, SamplesNoiseEveryUpdate) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{1.0, 0.0};
+  options.passes = 4;
+  options.batch_size = 25;  // 20 updates per pass
+  Rng rng(1);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  // This is the white-box cost the paper measures: one draw per update.
+  EXPECT_EQ(out.value().stats.noise_samples, 80u);
+  EXPECT_EQ(out.value().stats.updates, 80u);
+}
+
+TEST(Scs13Test, LaplaceScaleMatchesPerStepBudget) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{2.0, 0.0};
+  options.passes = 10;
+  options.batch_size = 50;
+  Rng rng(2);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  // Sensitivity 2L/b, per-pass budget ε/k: scale = (2L/b)/(ε/k).
+  double expected = (2.0 * loss->lipschitz() / 50.0) / (2.0 / 10.0);
+  EXPECT_DOUBLE_EQ(out.value().per_step_noise_scale, expected);
+}
+
+TEST(Scs13Test, GaussianVariantRuns) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.passes = 2;
+  options.batch_size = 50;
+  Rng rng(3);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().per_step_noise_scale, 0.0);
+}
+
+TEST(Scs13Test, StronglyConvexProjectsToRadius) {
+  Dataset data = MakeData();
+  const double lambda = 0.1;
+  auto loss = MakeLogisticLoss(lambda, 1.0 / lambda).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{0.1, 0.0};  // heavy noise
+  options.passes = 3;
+  options.batch_size = 10;
+  Rng rng(4);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out.value().model.Norm(), 1.0 / lambda + 1e-9);
+}
+
+TEST(Scs13Test, LargeEpsilonApproachesNoNoiseBehavior) {
+  Dataset data = MakeData(2000, 122);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{1e6, 0.0};
+  options.passes = 10;
+  options.batch_size = 50;
+  Rng rng(5);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(BinaryAccuracy(out.value().model, data), 0.9);
+}
+
+TEST(Scs13Test, MoreNoiseAtSmallerEpsilon) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Scs13Options small, large;
+  small.privacy = PrivacyParams{0.01, 0.0};
+  large.privacy = PrivacyParams{10.0, 0.0};
+  Rng rng(6);
+  double scale_small =
+      RunScs13(data, *loss, small, &rng).value().per_step_noise_scale;
+  double scale_large =
+      RunScs13(data, *loss, large, &rng).value().per_step_noise_scale;
+  EXPECT_GT(scale_small, scale_large);
+}
+
+TEST(Scs13Test, Validation) {
+  Dataset data = MakeData();
+  Dataset empty(10, 2);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  Rng rng(7);
+  Scs13Options options;
+  options.privacy = PrivacyParams{0.0, 0.0};
+  EXPECT_FALSE(RunScs13(data, *loss, options, &rng).ok());
+  options.privacy = PrivacyParams{1.0, 0.0};
+  EXPECT_FALSE(RunScs13(empty, *loss, options, &rng).ok());
+  options.passes = 0;
+  EXPECT_FALSE(RunScs13(data, *loss, options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace bolton

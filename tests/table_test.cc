@@ -1,0 +1,171 @@
+#include "engine/table.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace bolton {
+namespace {
+
+Dataset MakeData(size_t m = 200, uint64_t seed = 161) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 6;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+std::string SpillPath(const std::string& tag) {
+  return ::testing::TempDir() + "table_test_" + tag + ".bin";
+}
+
+// Sums features + labels as an order-independent content fingerprint.
+std::pair<double, long> Fingerprint(const Table& table) {
+  double feature_sum = 0.0;
+  long label_sum = 0;
+  table
+      .Scan([&](const Example& e) {
+        for (size_t i = 0; i < e.x.dim(); ++i) feature_sum += e.x[i];
+        label_sum += e.label;
+      })
+      .CheckOK();
+  return {feature_sum, label_sum};
+}
+
+class TableModeTest : public ::testing::TestWithParam<StorageMode> {
+ protected:
+  Result<std::unique_ptr<Table>> Make(const Dataset& data) {
+    return MakeTable(data, GetParam(), SpillPath(TestName()), 16);
+  }
+  std::string TestName() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = info->name();  // e.g. "RoundTripsRows/disk"
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    return name + (GetParam() == StorageMode::kMemory ? "_mem" : "_disk");
+  }
+};
+
+TEST_P(TableModeTest, RoundTripsRows) {
+  Dataset data = MakeData();
+  auto table = Make(data);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->num_rows(), data.size());
+  EXPECT_EQ(table.value()->dim(), data.dim());
+
+  // Before any shuffle, scan order matches insertion order.
+  size_t i = 0;
+  table.value()
+      ->Scan([&](const Example& e) {
+        EXPECT_NEAR(Distance(e.x, data[i].x), 0.0, 1e-12);
+        EXPECT_EQ(e.label, data[i].label);
+        ++i;
+      })
+      .CheckOK();
+  EXPECT_EQ(i, data.size());
+}
+
+TEST_P(TableModeTest, ShufflePreservesContentAndChangesOrder) {
+  Dataset data = MakeData(500, 162);
+  auto table = Make(data);
+  ASSERT_TRUE(table.ok());
+  auto before = Fingerprint(*table.value());
+
+  Rng rng(1);
+  ASSERT_TRUE(table.value()->Shuffle(&rng).ok());
+  auto after = Fingerprint(*table.value());
+  EXPECT_NEAR(before.first, after.first, 1e-9);
+  EXPECT_EQ(before.second, after.second);
+
+  // At least one row moved (probability of identity order ~ 1/500!).
+  bool moved = false;
+  size_t i = 0;
+  table.value()
+      ->Scan([&](const Example& e) {
+        if (Distance(e.x, data[i].x) > 1e-12) moved = true;
+        ++i;
+      })
+      .CheckOK();
+  EXPECT_TRUE(moved);
+}
+
+TEST_P(TableModeTest, RepeatedScansAreStable) {
+  Dataset data = MakeData(100, 163);
+  auto table = Make(data);
+  ASSERT_TRUE(table.ok());
+  Rng rng(2);
+  ASSERT_TRUE(table.value()->Shuffle(&rng).ok());
+  // Two scans after one shuffle must see the identical order — Bismarck
+  // shuffles once and then does sequential epochs.
+  std::vector<int> labels_a, labels_b;
+  table.value()->Scan([&](const Example& e) { labels_a.push_back(e.label); })
+      .CheckOK();
+  table.value()->Scan([&](const Example& e) { labels_b.push_back(e.label); })
+      .CheckOK();
+  EXPECT_EQ(labels_a, labels_b);
+}
+
+TEST_P(TableModeTest, ToDatasetCopiesEverything) {
+  Dataset data = MakeData(50, 164);
+  auto table = Make(data);
+  ASSERT_TRUE(table.ok());
+  auto copied = table.value()->ToDataset();
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(copied.value().size(), data.size());
+  EXPECT_EQ(copied.value().dim(), data.dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TableModeTest,
+                         ::testing::Values(StorageMode::kMemory,
+                                           StorageMode::kDisk),
+                         [](const ::testing::TestParamInfo<StorageMode>& i) {
+                           return i.param == StorageMode::kMemory ? "memory"
+                                                                  : "disk";
+                         });
+
+TEST(TableTest, DiskModeRequiresSpillPath) {
+  Dataset data = MakeData(10, 165);
+  EXPECT_FALSE(MakeTable(data, StorageMode::kDisk).ok());
+}
+
+TEST(TableTest, EmptyDatasetRejected) {
+  Dataset empty(4, 2);
+  EXPECT_FALSE(MakeTable(empty, StorageMode::kMemory).ok());
+}
+
+TEST(TableTest, TruncatedSpillFileSurfacesIOError) {
+  // Failure injection: corrupt the backing file after creation; the next
+  // scan must fail with IOError rather than emit garbage rows.
+  Dataset data = MakeData(64, 167);
+  std::string path = SpillPath("truncated");
+  auto table = MakeTable(data, StorageMode::kDisk, path, 16);
+  ASSERT_TRUE(table.ok());
+  {
+    std::ofstream truncate(path, std::ios::binary | std::ios::trunc);
+    truncate << "short";
+  }
+  Status scan = table.value()->Scan([](const Example&) {});
+  EXPECT_EQ(scan.code(), StatusCode::kIOError);
+  // Shuffle reads the same file and must fail loudly too.
+  Rng rng(4);
+  EXPECT_EQ(table.value()->Shuffle(&rng).code(), StatusCode::kIOError);
+}
+
+TEST(TableTest, DiskTableUsesMultiplePages) {
+  // 100 rows with 16-row pages exercises the paging path; content must
+  // survive a shuffle that rewrites the file.
+  Dataset data = MakeData(100, 166);
+  auto table = MakeTable(data, StorageMode::kDisk, SpillPath("paging"), 16);
+  ASSERT_TRUE(table.ok());
+  Rng rng(3);
+  ASSERT_TRUE(table.value()->Shuffle(&rng).ok());
+  size_t rows = 0;
+  table.value()->Scan([&](const Example&) { ++rows; }).CheckOK();
+  EXPECT_EQ(rows, 100u);
+}
+
+}  // namespace
+}  // namespace bolton

@@ -1,0 +1,207 @@
+#include "ml/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace bolton {
+namespace {
+
+Dataset MakeData(size_t m = 800, uint64_t seed = 181) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 10;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST(AlgorithmEnumTest, NamesRoundTrip) {
+  for (Algorithm a : {Algorithm::kNoiseless, Algorithm::kBoltOn,
+                      Algorithm::kScs13, Algorithm::kBst14,
+                      Algorithm::kObjective}) {
+    auto parsed = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), a);
+  }
+  EXPECT_TRUE(ParseAlgorithm("bolt-on").ok());
+  EXPECT_FALSE(ParseAlgorithm("dpsgd").ok());
+}
+
+TEST(MakeLossForConfigTest, RadiusTiedToLambda) {
+  TrainerConfig config;
+  config.lambda = 0.01;
+  auto loss = MakeLossForConfig(config);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(loss.value()->radius(), 100.0);
+  EXPECT_TRUE(loss.value()->IsStronglyConvex());
+
+  config.lambda = 0.0;
+  loss = MakeLossForConfig(config);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_TRUE(std::isinf(loss.value()->radius()));
+}
+
+TEST(MakeLossForConfigTest, HuberModelSelected) {
+  TrainerConfig config;
+  config.model = ModelKind::kHuberSvm;
+  config.huber_h = 0.1;
+  auto loss = MakeLossForConfig(config);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NE(loss.value()->name().find("huber"), std::string::npos);
+}
+
+// All four algorithms train through the same surface, for every test
+// scenario of §4.3 that supports them.
+struct TrainerCase {
+  Algorithm algorithm;
+  bool strongly_convex;
+  bool with_delta;
+  const char* label;
+};
+
+class TrainerSweep : public ::testing::TestWithParam<TrainerCase> {};
+
+TEST_P(TrainerSweep, ProducesFiniteModel) {
+  const TrainerCase c = GetParam();
+  Dataset data = MakeData();
+  TrainerConfig config;
+  config.algorithm = c.algorithm;
+  config.lambda = c.strongly_convex ? 1e-3 : 0.0;
+  config.passes = 5;
+  config.batch_size = 50;
+  config.privacy =
+      c.with_delta ? PrivacyParams{0.5, 1e-6} : PrivacyParams{0.5, 0.0};
+  Rng rng(1);
+  auto model = TrainBinary(data, config, &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().dim(), data.dim());
+  for (size_t i = 0; i < model.value().dim(); ++i) {
+    EXPECT_TRUE(std::isfinite(model.value()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TrainerSweep,
+    ::testing::Values(
+        TrainerCase{Algorithm::kNoiseless, false, false, "noiseless_c"},
+        TrainerCase{Algorithm::kNoiseless, true, false, "noiseless_sc"},
+        TrainerCase{Algorithm::kBoltOn, false, false, "ours_c_pure"},
+        TrainerCase{Algorithm::kBoltOn, false, true, "ours_c_approx"},
+        TrainerCase{Algorithm::kBoltOn, true, false, "ours_sc_pure"},
+        TrainerCase{Algorithm::kBoltOn, true, true, "ours_sc_approx"},
+        TrainerCase{Algorithm::kScs13, false, false, "scs13_c_pure"},
+        TrainerCase{Algorithm::kScs13, true, true, "scs13_sc_approx"},
+        TrainerCase{Algorithm::kBst14, false, true, "bst14_c"},
+        TrainerCase{Algorithm::kBst14, true, true, "bst14_sc"}),
+    [](const ::testing::TestParamInfo<TrainerCase>& info) {
+      return info.param.label;
+    });
+
+TEST(TrainerTest, ObjectivePerturbationThroughTrainer) {
+  Dataset data = MakeData(400, 187);
+  TrainerConfig config;
+  config.algorithm = Algorithm::kObjective;
+  config.lambda = 0.01;
+  config.passes = 5;
+  config.batch_size = 10;
+  config.privacy = PrivacyParams{4.0, 0.0};
+  Rng rng(8);
+  auto model = TrainBinary(data, config, &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(BinaryAccuracy(model.value(), data), 0.8);
+
+  // (ε, δ) and Huber are out of the classic mechanism's scope.
+  config.privacy = PrivacyParams{0.5, 1e-6};
+  EXPECT_EQ(TrainBinary(data, config, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+  config.privacy = PrivacyParams{4.0, 0.0};
+  config.model = ModelKind::kHuberSvm;
+  EXPECT_EQ(TrainBinary(data, config, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainerTest, Bst14PureEpsilonRejected) {
+  Dataset data = MakeData(200, 182);
+  TrainerConfig config;
+  config.algorithm = Algorithm::kBst14;
+  config.privacy = PrivacyParams{1.0, 0.0};
+  config.passes = 1;
+  config.batch_size = 10;
+  Rng rng(2);
+  EXPECT_FALSE(TrainBinary(data, config, &rng).ok());
+}
+
+TEST(TrainerTest, NoiselessBeatsHeavyNoiseAtTinyEpsilon) {
+  Dataset data = MakeData(1000, 183);
+  Rng rng_a(3), rng_b(4);
+  TrainerConfig noiseless;
+  noiseless.algorithm = Algorithm::kNoiseless;
+  noiseless.passes = 10;
+  noiseless.batch_size = 50;
+  double clean_acc =
+      BinaryAccuracy(TrainBinary(data, noiseless, &rng_a).value(), data);
+
+  TrainerConfig noisy = noiseless;
+  noisy.algorithm = Algorithm::kScs13;
+  noisy.privacy = PrivacyParams{0.001, 0.0};
+  double noisy_acc =
+      BinaryAccuracy(TrainBinary(data, noisy, &rng_b).value(), data);
+  EXPECT_GT(clean_acc, noisy_acc);
+}
+
+TEST(TrainerTest, HuberSvmTrainsAccurately) {
+  Dataset data = MakeData(1000, 184);
+  TrainerConfig config;
+  config.algorithm = Algorithm::kNoiseless;
+  config.model = ModelKind::kHuberSvm;
+  config.passes = 10;
+  config.batch_size = 10;
+  Rng rng(5);
+  auto model = TrainBinary(data, config, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(BinaryAccuracy(model.value(), data), 0.9);
+}
+
+TEST(TrainerTest, MulticlassSplitsBudget) {
+  SyntheticConfig sc;
+  sc.num_examples = 600;
+  sc.dim = 10;
+  sc.num_classes = 3;
+  sc.margin = 3.0;
+  sc.noise_stddev = 0.5;
+  sc.seed = 185;
+  Dataset data = GenerateSynthetic(sc).MoveValue();
+  TrainerConfig config;
+  config.algorithm = Algorithm::kBoltOn;
+  config.lambda = 1e-3;
+  config.passes = 5;
+  config.batch_size = 20;
+  config.privacy = PrivacyParams{30.0, 0.0};
+  Rng rng(6);
+  auto model = TrainMulticlass(data, config, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_classes(), 3);
+  EXPECT_GT(MulticlassAccuracy(model.value(), data), 0.6);
+}
+
+TEST(TrainerTest, AverageModelsOptionWorks) {
+  Dataset data = MakeData(300, 186);
+  TrainerConfig config;
+  config.algorithm = Algorithm::kNoiseless;
+  config.passes = 3;
+  config.batch_size = 10;
+  Rng rng_a(7), rng_b(7);
+  auto last = TrainBinary(data, config, &rng_a);
+  config.average_models = true;
+  auto averaged = TrainBinary(data, config, &rng_b);
+  ASSERT_TRUE(last.ok() && averaged.ok());
+  EXPECT_GT(Distance(last.value(), averaged.value()), 0.0);
+}
+
+}  // namespace
+}  // namespace bolton

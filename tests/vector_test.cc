@@ -1,0 +1,129 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace bolton {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector zero(3);
+  EXPECT_EQ(zero.dim(), 3u);
+  EXPECT_EQ(zero[0], 0.0);
+
+  Vector filled(2, 1.5);
+  EXPECT_EQ(filled[0], 1.5);
+  EXPECT_EQ(filled[1], 1.5);
+
+  Vector braced{1.0, 2.0, 3.0};
+  EXPECT_EQ(braced.dim(), 3u);
+  EXPECT_EQ(braced[2], 3.0);
+
+  EXPECT_TRUE(Vector().empty());
+}
+
+TEST(VectorTest, ArithmeticMatchesComponentwise) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_EQ(sum, (Vector{4.0, 1.0}));
+  Vector diff = a - b;
+  EXPECT_EQ(diff, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+
+  Vector c = a;
+  c += b;
+  EXPECT_EQ(c, sum);
+  c -= b;
+  EXPECT_EQ(c, a);
+  c *= 3.0;
+  EXPECT_EQ(c, (Vector{3.0, 6.0}));
+  c /= 3.0;
+  EXPECT_EQ(c, a);
+}
+
+TEST(VectorTest, AxpyAccumulates) {
+  Vector y{1.0, 1.0};
+  Vector x{2.0, -2.0};
+  y.Axpy(0.5, x);
+  EXPECT_EQ(y, (Vector{2.0, 0.0}));
+}
+
+TEST(VectorTest, NormsAndDistances) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(Dot(v, v), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(v, Vector{0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(v, v), 0.0);
+}
+
+TEST(VectorTest, NormalizedHasUnitNorm) {
+  Vector v{3.0, 4.0};
+  EXPECT_NEAR(Normalized(v).Norm(), 1.0, 1e-12);
+  // Zero vectors are passed through unchanged.
+  Vector zero(2);
+  EXPECT_EQ(Normalized(zero), zero);
+}
+
+TEST(VectorTest, SetZeroClears) {
+  Vector v{1.0, 2.0};
+  v.SetZero();
+  EXPECT_EQ(v, Vector(2));
+}
+
+TEST(ProjectionTest, InsideBallUnchanged) {
+  Vector v{0.3, 0.4};
+  EXPECT_EQ(ProjectToL2Ball(v, 1.0), v);
+}
+
+TEST(ProjectionTest, OutsideBallLandsOnBoundary) {
+  Vector v{3.0, 4.0};
+  Vector projected = ProjectToL2Ball(v, 1.0);
+  EXPECT_NEAR(projected.Norm(), 1.0, 1e-12);
+  // Direction is preserved.
+  EXPECT_NEAR(projected[0] / projected[1], v[0] / v[1], 1e-12);
+}
+
+// Non-expansiveness ‖Πu − Πv‖ ≤ ‖u − v‖ is the property the paper's
+// constrained-optimization extension (§3.2.3) relies on.
+TEST(ProjectionTest, ProjectionIsNonExpansive) {
+  const double radius = 2.0;
+  Vector u{5.0, 0.0};
+  Vector v{0.0, 7.0};
+  double before = Distance(u, v);
+  double after = Distance(ProjectToL2Ball(u, radius),
+                          ProjectToL2Ball(v, radius));
+  EXPECT_LE(after, before + 1e-12);
+}
+
+TEST(MatrixTest, MultiplyMatchesManual) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(0, 2) = 3.0;
+  m(1, 0) = -1.0;
+  m(1, 1) = 0.0;
+  m(1, 2) = 1.0;
+  Vector x{1.0, 1.0, 1.0};
+  Vector y = m.Multiply(x);
+  EXPECT_EQ(y, (Vector{6.0, 0.0}));
+
+  Vector z = m.MultiplyTransposed(Vector{1.0, 2.0});
+  EXPECT_EQ(z, (Vector{-1.0, 2.0, 5.0}));
+}
+
+TEST(MatrixTest, RowAndFrobenius) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_EQ(m.Row(0), (Vector{3.0, 0.0}));
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+}  // namespace
+}  // namespace bolton

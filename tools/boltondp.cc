@@ -1,0 +1,232 @@
+// boltondp — command-line front end for the library.
+//
+//   boltondp train    --data train.libsvm --algo ours --epsilon 1
+//                     --model out.model [--lambda 0.01] [--passes 10] ...
+//   boltondp evaluate --data test.libsvm --model out.model
+//   boltondp datagen  --dataset protein --scale 0.1 --out train.libsvm
+//
+// `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
+// generates one of the built-in synthetic stand-ins instead. Multiclass
+// datasets train one-vs-all automatically.
+#include <cstdio>
+#include <string>
+
+#include "data/loaders.h"
+#include "data/projection.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "ml/binary_stats.h"
+#include "ml/metrics.h"
+#include "ml/model_io.h"
+#include "ml/trainer.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace {
+
+struct CommonDataFlags {
+  std::string data;
+  std::string dataset;
+  double scale = 0.1;
+  int64_t seed = 7;
+  bool standardize = false;
+  int64_t project_dim = 0;
+};
+
+void AddDataFlags(FlagParser* parser, CommonDataFlags* flags) {
+  parser->AddString("data", &flags->data, "LIBSVM or .csv input file");
+  parser->AddString("dataset", &flags->dataset,
+                    "built-in synthetic dataset "
+                    "(mnist|protein|covertype|higgs|kddcup)");
+  parser->AddDouble("scale", &flags->scale, "synthetic dataset scale");
+  parser->AddInt("seed", &flags->seed, "RNG seed");
+  parser->AddBool("standardize", &flags->standardize,
+                  "standardize features before unit-ball normalization");
+  parser->AddInt("project", &flags->project_dim,
+                 "Gaussian-random-project features to this dimension (0=off)");
+}
+
+Result<Dataset> LoadTrainingData(const CommonDataFlags& flags) {
+  Dataset data;
+  if (!flags.data.empty()) {
+    if (flags.data.size() > 4 &&
+        flags.data.substr(flags.data.size() - 4) == ".csv") {
+      BOLTON_ASSIGN_OR_RETURN(data, LoadCsv(flags.data));
+    } else {
+      BOLTON_ASSIGN_OR_RETURN(data, LoadLibsvm(flags.data));
+    }
+  } else if (!flags.dataset.empty()) {
+    BOLTON_ASSIGN_OR_RETURN(
+        auto split, GenerateByName(flags.dataset, flags.scale, flags.seed));
+    data = std::move(split.first);
+  } else {
+    return Status::InvalidArgument("pass --data FILE or --dataset NAME");
+  }
+
+  if (flags.standardize) {
+    BOLTON_ASSIGN_OR_RETURN(Standardizer standardizer,
+                            Standardizer::Fit(data));
+    BOLTON_ASSIGN_OR_RETURN(data, standardizer.Apply(data));
+  }
+  if (flags.project_dim > 0) {
+    BOLTON_ASSIGN_OR_RETURN(
+        auto projection,
+        GaussianRandomProjection::Create(
+            data.dim(), static_cast<size_t>(flags.project_dim),
+            flags.seed + 1));
+    BOLTON_ASSIGN_OR_RETURN(data, projection.Apply(data));
+  }
+  data.NormalizeToUnitBall();
+  return data;
+}
+
+int Train(int argc, char** argv) {
+  CommonDataFlags data_flags;
+  std::string algo = "ours";
+  std::string model_kind = "logistic";
+  std::string model_path = "model.txt";
+  double epsilon = 1.0, delta = 0.0, lambda = 0.0, huber_h = 0.1;
+  int64_t passes = 10, batch = 50;
+
+  FlagParser parser;
+  AddDataFlags(&parser, &data_flags);
+  parser.AddString("algo", &algo, "noiseless|ours|scs13|bst14");
+  parser.AddString("loss", &model_kind, "logistic|huber");
+  parser.AddString("model", &model_path, "output model file");
+  parser.AddDouble("epsilon", &epsilon, "privacy budget epsilon");
+  parser.AddDouble("delta", &delta, "privacy budget delta (0 = pure eps-DP)");
+  parser.AddDouble("lambda", &lambda, "L2 regularization (0 = convex)");
+  parser.AddDouble("huber", &huber_h, "Huber smoothing width");
+  parser.AddInt("passes", &passes, "SGD passes");
+  parser.AddInt("batch", &batch, "mini-batch size");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp train");
+    return 0;
+  }
+
+  auto data = LoadTrainingData(data_flags);
+  data.status().CheckOK();
+  std::printf("loaded %s\n", data.value().Summary("train").c_str());
+
+  TrainerConfig config;
+  config.algorithm = ParseAlgorithm(algo).MoveValue();
+  config.model =
+      model_kind == "huber" ? ModelKind::kHuberSvm : ModelKind::kLogistic;
+  config.lambda = lambda;
+  config.huber_h = huber_h;
+  config.passes = static_cast<size_t>(passes);
+  config.batch_size = static_cast<size_t>(batch);
+  config.privacy = PrivacyParams{epsilon, delta};
+
+  Rng rng(data_flags.seed + 2);
+  Stopwatch watch;
+  if (data.value().num_classes() > 2) {
+    auto model = TrainMulticlass(data.value(), config, &rng);
+    model.status().CheckOK();
+    SaveModel(model.value(), model_path).CheckOK();
+    std::printf("trained %d-class %s model with %s in %.2fs -> %s\n",
+                model.value().num_classes(), model_kind.c_str(),
+                AlgorithmName(config.algorithm), watch.ElapsedSeconds(),
+                model_path.c_str());
+    std::printf("train accuracy: %.4f\n",
+                MulticlassAccuracy(model.value(), data.value()));
+  } else {
+    auto model = TrainBinary(data.value(), config, &rng);
+    model.status().CheckOK();
+    SaveModel(model.value(), model_path).CheckOK();
+    std::printf("trained binary %s model with %s in %.2fs -> %s\n",
+                model_kind.c_str(), AlgorithmName(config.algorithm),
+                watch.ElapsedSeconds(), model_path.c_str());
+    std::printf("train %s\n",
+                ComputeBinaryStats(model.value(), data.value())
+                    .ToString()
+                    .c_str());
+  }
+  return 0;
+}
+
+int Evaluate(int argc, char** argv) {
+  CommonDataFlags data_flags;
+  std::string model_path = "model.txt";
+  FlagParser parser;
+  AddDataFlags(&parser, &data_flags);
+  parser.AddString("model", &model_path, "model file to evaluate");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp evaluate");
+    return 0;
+  }
+
+  auto data = LoadTrainingData(data_flags);
+  data.status().CheckOK();
+  auto model = LoadMulticlassModel(model_path);
+  model.status().CheckOK();
+
+  if (model.value().num_classes() == 1) {
+    const Vector& w = model.value().weights[0];
+    BinaryStats stats = ComputeBinaryStats(w, data.value());
+    std::printf("%s\n", stats.ToString().c_str());
+    auto auc = RocAuc(w, data.value());
+    if (auc.ok()) std::printf("auc=%.4f\n", auc.value());
+  } else {
+    ConfusionMatrix confusion = ComputeConfusion(model.value(), data.value());
+    std::printf("%s", confusion.ToString().c_str());
+    std::printf("accuracy=%.4f\n", confusion.Accuracy());
+  }
+  return 0;
+}
+
+int DataGen(int argc, char** argv) {
+  std::string dataset = "protein";
+  std::string out = "train.libsvm";
+  double scale = 0.1;
+  int64_t seed = 7;
+  FlagParser parser;
+  parser.AddString("dataset", &dataset,
+                   "mnist|protein|covertype|higgs|kddcup");
+  parser.AddString("out", &out, "output LIBSVM file");
+  parser.AddDouble("scale", &scale, "dataset scale");
+  parser.AddInt("seed", &seed, "RNG seed");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp datagen");
+    return 0;
+  }
+
+  auto split = GenerateByName(dataset, scale, seed);
+  split.status().CheckOK();
+  SaveLibsvm(split.value().first, out).CheckOK();
+  SaveLibsvm(split.value().second, out + ".test").CheckOK();
+  std::printf("wrote %s (%zu rows) and %s.test (%zu rows)\n", out.c_str(),
+              split.value().first.size(), out.c_str(),
+              split.value().second.size());
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "boltondp — bolt-on differentially private SGD analytics\n"
+      "usage: boltondp <train|evaluate|datagen> [flags]\n"
+      "       boltondp <command> --help for per-command flags\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  // Shift argv so per-command parsers see only their flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "train") return Train(sub_argc, sub_argv);
+  if (command == "evaluate") return Evaluate(sub_argc, sub_argv);
+  if (command == "datagen") return DataGen(sub_argc, sub_argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace bolton
+
+int main(int argc, char** argv) { return bolton::Main(argc, argv); }
