@@ -9,6 +9,7 @@
 // paper's sizes. Seeds are fixed so runs are reproducible.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,9 @@
 #include "data/synthetic.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/strings.h"
 
@@ -155,12 +159,61 @@ inline void PrintAccuracyRow(double epsilon,
   }
 }
 
+/// Times `fn` and emits a trace span named `name`, so one-off bench timings
+/// flow through the same recorder/exporter as the library's own spans
+/// instead of a hand-rolled stopwatch.
+template <typename Fn>
+inline double TimedSeconds(const char* name, Fn&& fn) {
+  obs::ScopedSpan span(name);
+  const uint64_t start_ns = obs::MonotonicNanos();
+  fn();
+  return static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+}
+
+/// Dumps whatever telemetry is enabled: metrics text to stderr (stdout
+/// carries the figure rows), trace/ledger JSONL to the given paths when
+/// non-empty.
+inline void DumpTelemetry(bool metrics, const std::string& trace_out,
+                          const std::string& ledger_out) {
+  if (metrics) {
+    std::fprintf(stderr, "%s",
+                 obs::MetricsRegistry::Default().Snapshot().ToText().c_str());
+  }
+  if (!trace_out.empty()) {
+    Status status = obs::TraceRecorder::Default().WriteJsonl(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!ledger_out.empty()) {
+    Status status = obs::PrivacyLedger::Default().WriteJsonl(ledger_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ledger export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+/// google-benchmark binaries have no FlagParser pass; BOLTON_TELEMETRY=1 in
+/// the environment turns on all three pillars instead. Returns whether it
+/// did, so main can DumpTelemetry at shutdown.
+inline bool EnableTelemetryFromEnv() {
+  const char* env = std::getenv("BOLTON_TELEMETRY");
+  if (env == nullptr || env[0] == '\0' || env[0] == '0') return false;
+  obs::SetAllEnabled(true);
+  return true;
+}
+
 /// Standard flags shared by the accuracy benches.
 struct CommonFlags {
   double scale = 1.0;    // multiplies the per-dataset default scale
   int64_t repeats = 3;   // accuracy is averaged over this many seeds
   int64_t seed = 7;
   std::string datasets = "mnist,protein,covertype";
+  bool metrics = false;
+  std::string trace_out;
+  std::string ledger_out;
 
   Status Parse(int argc, char** argv, const char* program) {
     FlagParser parser;
@@ -169,17 +222,29 @@ struct CommonFlags {
     parser.AddInt("repeats", &repeats, "seeds to average accuracy over");
     parser.AddInt("seed", &seed, "base RNG seed");
     parser.AddString("datasets", &datasets, "comma-separated dataset list");
+    parser.AddBool("metrics", &metrics,
+                   "print a metrics dump to stderr on exit");
+    parser.AddString("trace-out", &trace_out,
+                     "write trace spans as JSONL to this file on exit");
+    parser.AddString("ledger-out", &ledger_out,
+                     "write the privacy-spend ledger as JSONL on exit");
     BOLTON_RETURN_IF_ERROR(parser.Parse(argc, argv));
     if (parser.help_requested()) {
       parser.PrintHelp(program);
       std::exit(0);
     }
+    if (metrics) obs::SetMetricsEnabled(true);
+    if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
+    if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
     return Status::OK();
   }
 
   std::vector<std::string> DatasetList() const {
     return StrSplit(datasets, ',');
   }
+
+  /// Every bench exports on exit without per-binary dump code.
+  ~CommonFlags() { DumpTelemetry(metrics, trace_out, ledger_out); }
 };
 
 /// Mean test accuracy over `repeats` seeds.

@@ -14,7 +14,6 @@
 #include "engine/driver.h"
 #include "random/distributions.h"
 #include "random/dp_noise.h"
-#include "util/stopwatch.h"
 
 namespace bolton {
 namespace bench {
@@ -51,12 +50,12 @@ double EpochSeconds(Table* table, const LossFunction& loss, bool bolt_on,
   double seconds = out.value().epoch_seconds[0];
   if (bolt_on) {
     // Ours adds exactly one draw after the run; include it for honesty.
-    Stopwatch watch;
     Rng noise_rng(seed + 1);
-    SampleSphericalLaplace(table->dim(), 1e-4, 0.1, &noise_rng)
-        .status()
-        .CheckOK();
-    seconds += watch.ElapsedSeconds();
+    seconds += TimedSeconds("bench.bolton_draw", [&] {
+      SampleSphericalLaplace(table->dim(), 1e-4, 0.1, &noise_rng)
+          .status()
+          .CheckOK();
+    });
   }
   return seconds;
 }

@@ -142,9 +142,16 @@ void RegisterAll() {
 }  // namespace bolton
 
 int main(int argc, char** argv) {
+  // BOLTON_TELEMETRY=1 enables the obs pillars for a profiling run; left
+  // off, instrumentation inside the timed loops is a branch per call site.
+  const bool telemetry = bolton::bench::EnableTelemetryFromEnv();
   bolton::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (telemetry) {
+    bolton::bench::DumpTelemetry(true, "bench_fig5.trace.jsonl",
+                                 "bench_fig5.ledger.jsonl");
+  }
   return 0;
 }

@@ -4,9 +4,44 @@
 #include <cmath>
 
 #include "core/bst14.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace bolton {
+
+namespace {
+
+/// One auditable ledger event per well-formed Charge() call, accepted or
+/// not, plus running spend gauges.
+void RecordChargeTelemetry(const PrivacyParams& cost, const std::string& label,
+                           const PrivacyParams& spent_after, bool accepted) {
+  static obs::Counter* accepted_count =
+      obs::MetricsRegistry::Default().GetCounter("accountant.charges");
+  static obs::Counter* rejected_count =
+      obs::MetricsRegistry::Default().GetCounter("accountant.rejected");
+  static obs::Gauge* epsilon_spent =
+      obs::MetricsRegistry::Default().GetGauge("privacy.epsilon_spent");
+  static obs::Gauge* delta_spent =
+      obs::MetricsRegistry::Default().GetGauge("privacy.delta_spent");
+  (accepted ? accepted_count : rejected_count)->Increment();
+  if (accepted) {
+    epsilon_spent->Set(spent_after.epsilon);
+    delta_spent->Set(spent_after.delta);
+  }
+
+  obs::PrivacyLedger& ledger = obs::PrivacyLedger::Default();
+  if (!ledger.enabled()) return;
+  obs::LedgerEvent event;
+  event.kind = "accountant_charge";
+  event.label = label;
+  event.epsilon = cost.epsilon;
+  event.delta = cost.delta;
+  event.accepted = accepted;
+  ledger.Record(std::move(event));
+}
+
+}  // namespace
 
 PrivacyParams BasicComposition(const std::vector<PrivacyParams>& parts) {
   PrivacyParams total{0.0, 0.0};
@@ -61,6 +96,7 @@ Status PrivacyAccountant::Charge(const PrivacyParams& cost,
   const double slack = 1e-12;
   if (spent.epsilon + cost.epsilon > budget_.epsilon * (1.0 + slack) ||
       spent.delta + cost.delta > budget_.delta + slack * (budget_.delta + 1.0)) {
+    RecordChargeTelemetry(cost, label, spent, /*accepted=*/false);
     return Status::FailedPrecondition(StrFormat(
         "charge '%s' (eps=%g, delta=%g) exceeds remaining budget "
         "(eps=%g, delta=%g)",
@@ -68,6 +104,7 @@ Status PrivacyAccountant::Charge(const PrivacyParams& cost,
         Remaining().delta));
   }
   charges_.push_back(Charged{cost, label});
+  RecordChargeTelemetry(cost, label, Spent(), /*accepted=*/true);
   return Status::OK();
 }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/schedule.h"
 #include "random/distributions.h"
 #include "util/strings.h"
@@ -21,13 +24,33 @@ double CompositionCost(double eps1, double sqrt_term, double T) {
   return T * eps1 * std::expm1(eps1) + sqrt_term * eps1;
 }
 
-/// Per-update Gaussian noise with fixed per-coordinate stddev.
+/// Per-update Gaussian noise with fixed per-coordinate stddev. Unlike the
+/// output-perturbation mechanisms this bypasses random/dp_noise.h (it is raw
+/// iid Gaussian noise calibrated by advanced composition), so it carries its
+/// own ledger instrumentation.
 class Bst14Noise final : public GradientNoiseSource {
  public:
   explicit Bst14Noise(double sigma) : sigma_(sigma) {}
 
-  Result<Vector> Sample(size_t /*step*/, size_t dim, Rng* rng) override {
-    return SampleGaussianVector(dim, sigma_, rng);
+  Result<Vector> Sample(size_t step, size_t dim, Rng* rng) override {
+    static obs::Counter* draws =
+        obs::MetricsRegistry::Default().GetCounter("bst14.noise_draws");
+    draws->Increment();
+    obs::PrivacyLedger& ledger = obs::PrivacyLedger::Default();
+    if (!ledger.enabled()) return SampleGaussianVector(dim, sigma_, rng);
+    const uint64_t fingerprint = rng->StateFingerprint();
+    Vector noise = SampleGaussianVector(dim, sigma_, rng);
+    obs::LedgerEvent event;
+    event.kind = "noise_draw";
+    event.mechanism = "gaussian_per_step";
+    event.label = "bst14.per_step";
+    event.noise_scale = sigma_;
+    event.noise_norm = noise.Norm();
+    event.dim = dim;
+    event.step = step;
+    event.rng_fingerprint = fingerprint;
+    ledger.Record(std::move(event));
+    return noise;
   }
 
  private:
@@ -60,6 +83,19 @@ Result<Calibration> Calibrate(const PrivacyParams& privacy, size_t m,
                (2.0 * static_cast<double>(batch_size)));
   cal.sigma_squared =
       2.0 * std::log(1.25 / cal.delta1) / (cal.epsilon2 * cal.epsilon2);
+  if (obs::PrivacyLedger::Default().enabled()) {
+    // Audit trail for the line 4-7 solve: ε₁ in `epsilon`, δ₁ in `delta`,
+    // pre-localization σ in `noise_scale`.
+    obs::LedgerEvent event;
+    event.kind = "calibration";
+    event.mechanism = "gaussian_per_step";
+    event.label = "bst14.calibration";
+    event.epsilon = cal.epsilon1;
+    event.delta = cal.delta1;
+    event.noise_scale = std::sqrt(cal.sigma_squared);
+    event.step = T;
+    obs::PrivacyLedger::Default().Record(std::move(event));
+  }
   return cal;
 }
 
@@ -120,6 +156,7 @@ Result<Bst14Output> RunBst14Convex(const Dataset& data,
         "hypothesis radius; set Bst14Options::radius");
   }
 
+  obs::ScopedSpan run_span("bst14.run");
   const size_t m = data.size();
   const size_t T = NumUpdates(m, options.passes, options.batch_size);
   BOLTON_ASSIGN_OR_RETURN(Calibration cal, Calibrate(options.privacy, m, T, options.batch_size));
@@ -168,6 +205,7 @@ Result<Bst14Output> RunBst14StronglyConvex(const Dataset& data,
   }
   const double R = EffectiveRadius(loss, options);
 
+  obs::ScopedSpan run_span("bst14.run");
   const size_t m = data.size();
   const size_t T = NumUpdates(m, options.passes, options.batch_size);
   BOLTON_ASSIGN_OR_RETURN(Calibration cal, Calibrate(options.privacy, m, T, options.batch_size));

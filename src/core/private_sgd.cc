@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/sensitivity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/schedule.h"
 #include "util/strings.h"
 
@@ -44,6 +46,10 @@ Result<PrivateSgdOutput> BoltOnPerturb(const Vector& model, double sensitivity,
     return Status::InvalidArgument("sensitivity must be >= 0");
   }
   if (model.empty()) return Status::InvalidArgument("empty model");
+  obs::ScopedSpan perturb_span("bolton.perturb_draw");
+  static obs::Counter* perturbations =
+      obs::MetricsRegistry::Default().GetCounter("bolton.perturbations");
+  perturbations->Increment();
   BOLTON_ASSIGN_OR_RETURN(
       Vector kappa,
       SampleDpNoise(MechanismFor(privacy), model.dim(), sensitivity,

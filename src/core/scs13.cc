@@ -1,5 +1,7 @@
 #include "core/scs13.h"
 
+#include "obs/ledger.h"
+#include "obs/trace.h"
 #include "optim/schedule.h"
 #include "random/dp_noise.h"
 #include "util/strings.h"
@@ -57,6 +59,22 @@ Result<Scs13Output> RunScs13(const Dataset& data, const LossFunction& loss,
                                  ? NoiseMechanism::kLaplace
                                  : NoiseMechanism::kGaussian;
   Scs13Noise noise(mechanism, sensitivity, eps_step, delta_step);
+
+  obs::ScopedSpan run_span("scs13.run");
+  if (obs::PrivacyLedger::Default().enabled()) {
+    // Audit trail for the per-step budget split the draws below will use.
+    obs::LedgerEvent event;
+    event.kind = "calibration";
+    event.mechanism =
+        mechanism == NoiseMechanism::kLaplace ? "laplace" : "gaussian";
+    event.label = "scs13.per_step_budget";
+    event.epsilon = eps_step;
+    event.delta = delta_step;
+    event.sensitivity = sensitivity;
+    auto scale = noise.NoiseScale();
+    event.noise_scale = scale.ok() ? scale.value() : 0.0;
+    obs::PrivacyLedger::Default().Record(std::move(event));
+  }
 
   BOLTON_ASSIGN_OR_RETURN(auto schedule,
                           MakeInverseSqrtStep(options.step_scale));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/sensitivity.h"
+#include "obs/trace.h"
 #include "optim/schedule.h"
 
 namespace bolton {
@@ -15,6 +16,8 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
   BOLTON_RETURN_IF_ERROR(options.privacy.Validate());
   const size_t m = table->num_rows();
   if (m == 0) return Status::InvalidArgument("empty table");
+
+  obs::ScopedSpan train_span("bolton.train");
 
   DriverOptions driver_options;
   driver_options.max_epochs = options.passes;
@@ -57,21 +60,27 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
   setup.batch_size = options.batch_size;
   setup.num_examples = m;
   double sensitivity;
-  if (loss.IsStronglyConvex()) {
-    BOLTON_ASSIGN_OR_RETURN(
-        sensitivity,
-        options.use_corrected_minibatch_sensitivity
-            ? StronglyConvexDecreasingStepSensitivityCorrected(loss, setup)
-            : StronglyConvexDecreasingStepSensitivity(loss, setup));
-  } else {
-    BOLTON_ASSIGN_OR_RETURN(
-        sensitivity, ConvexConstantStepSensitivity(loss, eta, setup));
+  {
+    obs::ScopedSpan sensitivity_span("bolton.sensitivity");
+    if (loss.IsStronglyConvex()) {
+      BOLTON_ASSIGN_OR_RETURN(
+          sensitivity,
+          options.use_corrected_minibatch_sensitivity
+              ? StronglyConvexDecreasingStepSensitivityCorrected(loss, setup)
+              : StronglyConvexDecreasingStepSensitivity(loss, setup));
+    } else {
+      BOLTON_ASSIGN_OR_RETURN(
+          sensitivity, ConvexConstantStepSensitivity(loss, eta, setup));
+    }
   }
 
   BoltOnDriverOutput out;
-  BOLTON_ASSIGN_OR_RETURN(
-      out.private_output,
-      BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
+  {
+    obs::ScopedSpan perturb_span("bolton.perturb");
+    BOLTON_ASSIGN_OR_RETURN(
+        out.private_output,
+        BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
+  }
   out.private_output.stats = run.stats;
   out.driver = std::move(run);
   return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "engine/sgd_uda.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace bolton {
@@ -20,8 +22,20 @@ Result<DriverOutput> RunSgdDriver(Table* table, const LossFunction& loss,
     return Status::InvalidArgument("batch_size must be in [1, num_rows]");
   }
 
-  // ORDER BY RANDOM(): one materialized shuffle before the epoch loop.
-  BOLTON_RETURN_IF_ERROR(table->Shuffle(rng));
+  obs::ScopedSpan run_span("engine.run");
+  static obs::Counter* shuffles =
+      obs::MetricsRegistry::Default().GetCounter("table_shuffles");
+  static obs::Counter* epochs_run =
+      obs::MetricsRegistry::Default().GetCounter("epochs_run");
+  static obs::Histogram* epoch_seconds = obs::MetricsRegistry::Default()
+      .GetHistogram("engine.epoch_seconds", obs::LatencySecondsBuckets());
+
+  {
+    // ORDER BY RANDOM(): one materialized shuffle before the epoch loop.
+    obs::ScopedSpan shuffle_span("engine.shuffle");
+    BOLTON_RETURN_IF_ERROR(table->Shuffle(rng));
+    shuffles->Increment();
+  }
 
   SgdUdaOptions uda_options;
   uda_options.batch_size = options.batch_size;
@@ -33,13 +47,24 @@ Result<DriverOutput> RunSgdDriver(Table* table, const LossFunction& loss,
   DriverOutput out;
   Vector model(table->dim());
   for (size_t epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("engine.epoch");
     Stopwatch watch;
     uda.Initialize(model);
-    BOLTON_RETURN_IF_ERROR(
-        table->Scan([&uda](const Example& row) { uda.Transition(row); }));
-    Vector next = uda.Terminate();
+    {
+      obs::ScopedSpan scan_span("engine.scan");
+      BOLTON_RETURN_IF_ERROR(
+          table->Scan([&uda](const Example& row) { uda.Transition(row); }));
+    }
+    Vector next;
+    {
+      obs::ScopedSpan terminate_span("engine.terminate");
+      next = uda.Terminate();
+    }
     BOLTON_RETURN_IF_ERROR(uda.status());
-    out.epoch_seconds.push_back(watch.ElapsedSeconds());
+    const double seconds = watch.ElapsedSeconds();
+    epoch_seconds->Observe(seconds);
+    epochs_run->Increment();
+    out.epoch_seconds.push_back(seconds);
     out.epochs_run = epoch;
 
     if (options.tolerance > 0.0) {
@@ -53,6 +78,19 @@ Result<DriverOutput> RunSgdDriver(Table* table, const LossFunction& loss,
   }
   out.model = std::move(model);
   out.stats = uda.stats();
+
+  {
+    // One relaxed add per counter per run, mirroring RunPsgd's flush.
+    static obs::Counter* gradient_evaluations =
+        obs::MetricsRegistry::Default().GetCounter("gradient_evaluations");
+    static obs::Counter* model_updates =
+        obs::MetricsRegistry::Default().GetCounter("model_updates");
+    static obs::Counter* noise_samples =
+        obs::MetricsRegistry::Default().GetCounter("noise_samples");
+    gradient_evaluations->Increment(out.stats.gradient_evaluations);
+    model_updates->Increment(out.stats.updates);
+    noise_samples->Increment(out.stats.noise_samples);
+  }
   return out;
 }
 

@@ -1,0 +1,65 @@
+#include "obs/ledger.h"
+
+#include "obs/telemetry.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+
+PrivacyLedger& PrivacyLedger::Default() {
+  static PrivacyLedger* ledger = new PrivacyLedger();
+  return *ledger;
+}
+
+void PrivacyLedger::Record(LedgerEvent event) {
+  if (!enabled()) return;
+  event.time_ns = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+std::vector<LedgerEvent> PrivacyLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t PrivacyLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void PrivacyLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 1;
+}
+
+std::string PrivacyLedger::ToJsonl() const {
+  std::vector<LedgerEvent> events = Snapshot();
+  std::string out;
+  for (const LedgerEvent& e : events) {
+    out += StrFormat(
+        "{\"seq\":%llu,\"time_ns\":%llu,\"kind\":\"%s\",\"mechanism\":\"%s\","
+        "\"label\":\"%s\",\"epsilon\":%.17g,\"delta\":%.17g,"
+        "\"sensitivity\":%.17g,\"noise_scale\":%.17g,\"noise_norm\":%.17g,"
+        "\"dim\":%llu,\"step\":%llu,\"rng_fingerprint\":%llu,"
+        "\"accepted\":%s}\n",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<unsigned long long>(e.time_ns),
+        JsonEscape(e.kind).c_str(), JsonEscape(e.mechanism).c_str(),
+        JsonEscape(e.label).c_str(), e.epsilon, e.delta, e.sensitivity,
+        e.noise_scale, e.noise_norm, static_cast<unsigned long long>(e.dim),
+        static_cast<unsigned long long>(e.step),
+        static_cast<unsigned long long>(e.rng_fingerprint),
+        e.accepted ? "true" : "false");
+  }
+  return out;
+}
+
+Status PrivacyLedger::WriteJsonl(const std::string& path) const {
+  return internal::WriteStringToFile(path, ToJsonl());
+}
+
+}  // namespace obs
+}  // namespace bolton

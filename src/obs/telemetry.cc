@@ -1,0 +1,85 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+
+uint64_t MonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+uint64_t CurrentThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void SetAllEnabled(bool enabled) {
+  SetMetricsEnabled(enabled);
+  TraceRecorder::Default().SetEnabled(enabled);
+  PrivacyLedger::Default().SetEnabled(enabled);
+}
+
+namespace internal {
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace bolton

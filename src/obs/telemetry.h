@@ -1,0 +1,42 @@
+#ifndef BOLTON_OBS_TELEMETRY_H_
+#define BOLTON_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace bolton {
+namespace obs {
+
+/// Shared primitives for the telemetry pillars (obs/metrics.h, obs/trace.h,
+/// obs/ledger.h).
+///
+/// Every pillar is off by default and its recording calls reduce to a branch
+/// on a relaxed atomic when disabled, so instrumented hot paths stay honest
+/// in runtime measurements (the Figure 5 overhead contract; see DESIGN.md
+/// "Observability").
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock), relative
+/// to the first telemetry call. Never goes backwards; unrelated to wall time.
+uint64_t MonotonicNanos();
+
+/// A stable small integer for the calling thread, used to label spans.
+uint64_t CurrentThreadId();
+
+/// Escapes `s` for embedding inside a double-quoted JSON string.
+std::string JsonEscape(const std::string& s);
+
+/// Master switch: flips metrics, trace, and ledger recording together.
+void SetAllEnabled(bool enabled);
+
+namespace internal {
+/// Overwrites `path` with `content`; the pillars' JSONL/text exporters all
+/// funnel through this one writer.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace bolton
+
+#endif  // BOLTON_OBS_TELEMETRY_H_

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string TraceRecorder::ToJsonl() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  for (const SpanRecord& s : spans) {
+    out += StrFormat(
+        "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"depth\":%d,"
+        "\"start_ns\":%llu,\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu}\n",
+        JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.id),
+        static_cast<unsigned long long>(s.parent_id), s.depth,
+        static_cast<unsigned long long>(s.start_ns),
+        static_cast<unsigned long long>(s.duration_ns),
+        static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.thread_id));
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteJsonl(const std::string& path) const {
+  return internal::WriteStringToFile(path, ToJsonl());
+}
+
+namespace internal {
+ThreadSpanState& ThreadState() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+}  // namespace internal
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  if (!recorder.enabled()) return;
+  internal::ThreadSpanState& tls = internal::ThreadState();
+  parent_ = tls.current_id;
+  depth_ = tls.depth;
+  id_ = recorder.NextSpanId();
+  tls.current_id = id_;
+  tls.depth = depth_ + 1;
+  active_ = true;
+  start_ = MonotonicNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const uint64_t end = MonotonicNanos();
+  internal::ThreadSpanState& tls = internal::ThreadState();
+  tls.current_id = parent_;
+  tls.depth = depth_;
+  SpanRecord record;
+  record.name = name_;
+  record.id = id_;
+  record.parent_id = parent_;
+  record.depth = depth_;
+  record.start_ns = start_;
+  record.duration_ns = end - start_;
+  record.thread_id = CurrentThreadId();
+  TraceRecorder::Default().Record(std::move(record));
+}
+
+void PhaseAccumulator::Flush() {
+  if (count_ == 0) return;
+  TraceRecorder& recorder = TraceRecorder::Default();
+  if (recorder.enabled()) {
+    const internal::ThreadSpanState& tls = internal::ThreadState();
+    SpanRecord record;
+    record.name = name_;
+    record.id = recorder.NextSpanId();
+    record.parent_id = tls.current_id;
+    record.depth = tls.depth;
+    record.start_ns = MonotonicNanos();
+    record.duration_ns = total_ns_;
+    record.count = count_;
+    record.thread_id = CurrentThreadId();
+    recorder.Record(std::move(record));
+  }
+  total_ns_ = 0;
+  count_ = 0;
+}
+
+}  // namespace obs
+}  // namespace bolton

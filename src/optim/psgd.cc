@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/strings.h"
 
@@ -26,6 +28,19 @@ Status ValidateOptions(const Dataset& data, const PsgdOptions& options) {
   return Status::OK();
 }
 
+/// One relaxed add per counter per run — never per example.
+void FlushStats(const PsgdStats& stats) {
+  static obs::Counter* gradient_evaluations =
+      obs::MetricsRegistry::Default().GetCounter("gradient_evaluations");
+  static obs::Counter* model_updates =
+      obs::MetricsRegistry::Default().GetCounter("model_updates");
+  static obs::Counter* noise_samples =
+      obs::MetricsRegistry::Default().GetCounter("noise_samples");
+  gradient_evaluations->Increment(stats.gradient_evaluations);
+  model_updates->Increment(stats.updates);
+  noise_samples->Increment(stats.noise_samples);
+}
+
 }  // namespace
 
 Result<PsgdOutput> RunPsgd(
@@ -34,6 +49,8 @@ Result<PsgdOutput> RunPsgd(
     GradientNoiseSource* noise,
     const std::function<void(size_t, const Vector&)>& pass_callback) {
   BOLTON_RETURN_IF_ERROR(ValidateOptions(data, options));
+
+  obs::ScopedSpan run_span("psgd.run");
 
   const size_t m = data.size();
   const size_t dim = data.dim();
@@ -47,15 +64,25 @@ Result<PsgdOutput> RunPsgd(
   PsgdStats stats;
   std::vector<size_t> order;
   if (options.sampling == SamplingMode::kPermutation) {
+    obs::ScopedSpan shuffle_span("psgd.shuffle");
     order = RandomPermutation(m, rng);
   } else {
     order.resize(b);  // reused scratch for with-replacement draws
   }
 
+  static obs::Histogram* pass_seconds = obs::MetricsRegistry::Default()
+      .GetHistogram("psgd.pass_seconds", obs::LatencySecondsBuckets());
+
   size_t step = 0;  // 1-based after increment; indexes the schedule
   for (size_t pass = 1; pass <= options.passes; ++pass) {
+    obs::ScopedSpan pass_span("psgd.pass");
+    obs::PhaseAccumulator gradient_phase("psgd.gradient");
+    obs::PhaseAccumulator noise_phase("psgd.noise_draw");
+    obs::PhaseAccumulator projection_phase("psgd.projection");
+    const uint64_t pass_start = obs::MonotonicNanos();
     if (options.sampling == SamplingMode::kPermutation && pass > 1 &&
         options.fresh_permutation_each_pass) {
+      obs::ScopedSpan shuffle_span("psgd.shuffle");
       order = RandomPermutation(m, rng);
     }
     for (size_t begin = 0; begin < m; begin += b) {
@@ -66,19 +93,23 @@ Result<PsgdOutput> RunPsgd(
       ++step;
 
       grad.SetZero();
-      const double scale = 1.0 / static_cast<double>(batch_len);
-      for (size_t j = 0; j < batch_len; ++j) {
-        size_t idx;
-        if (options.sampling == SamplingMode::kPermutation) {
-          idx = order[begin + j];
-        } else {
-          idx = rng->UniformInt(m);
+      {
+        obs::PhaseTimer timer(&gradient_phase);
+        const double scale = 1.0 / static_cast<double>(batch_len);
+        for (size_t j = 0; j < batch_len; ++j) {
+          size_t idx;
+          if (options.sampling == SamplingMode::kPermutation) {
+            idx = order[begin + j];
+          } else {
+            idx = rng->UniformInt(m);
+          }
+          loss.AddGradient(w, data[idx], scale, &grad);
+          ++stats.gradient_evaluations;
         }
-        loss.AddGradient(w, data[idx], scale, &grad);
-        ++stats.gradient_evaluations;
       }
 
       if (noise != nullptr) {
+        obs::PhaseTimer timer(&noise_phase);
         BOLTON_ASSIGN_OR_RETURN(Vector z, noise->Sample(step, dim, rng));
         grad += z;
         ++stats.noise_samples;
@@ -91,13 +122,20 @@ Result<PsgdOutput> RunPsgd(
                       schedule.name().c_str(), eta, step));
       }
       w.Axpy(-eta, grad);
-      if (project) ProjectToL2BallInPlace(&w, options.radius);
+      if (project) {
+        obs::PhaseTimer timer(&projection_phase);
+        ProjectToL2BallInPlace(&w, options.radius);
+      }
 
       ++stats.updates;
       if (options.output == OutputMode::kAverageAll) iterate_sum += w;
     }
+    pass_seconds->Observe(
+        static_cast<double>(obs::MonotonicNanos() - pass_start) * 1e-9);
     if (pass_callback) pass_callback(pass, w);
   }
+
+  FlushStats(stats);
 
   PsgdOutput out;
   out.stats = stats;

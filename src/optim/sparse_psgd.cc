@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/strings.h"
 
@@ -35,6 +37,8 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
         "sparse path supports permutation sampling only");
   }
 
+  obs::ScopedSpan run_span("sparse_psgd.run");
+
   const size_t m = data.size();
   const size_t dim = data.dim();
   const size_t b = options.batch_size;
@@ -49,34 +53,47 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
   std::vector<size_t> touched;  // grad coordinates to reset after an update
 
   PsgdStats stats;
-  std::vector<size_t> order = RandomPermutation(m, rng);
+  std::vector<size_t> order;
+  {
+    obs::ScopedSpan shuffle_span("psgd.shuffle");
+    order = RandomPermutation(m, rng);
+  }
 
   size_t step = 0;
   for (size_t pass = 1; pass <= options.passes; ++pass) {
+    obs::ScopedSpan pass_span("psgd.pass");
+    obs::PhaseAccumulator gradient_phase("psgd.gradient");
+    obs::PhaseAccumulator noise_phase("psgd.noise_draw");
+    obs::PhaseAccumulator projection_phase("psgd.projection");
     if (pass > 1 && options.fresh_permutation_each_pass) {
+      obs::ScopedSpan shuffle_span("psgd.shuffle");
       order = RandomPermutation(m, rng);
     }
     for (size_t begin = 0; begin < m; begin += b) {
       const size_t batch_len = std::min(b, m - begin);
       ++step;
 
-      const double scale = 1.0 / static_cast<double>(batch_len);
-      touched.clear();
-      for (size_t j = 0; j < batch_len; ++j) {
-        const SparseExample& e = data[order[begin + j]];
-        // ∇ℓ = −y·σ(−y⟨w,x⟩)·x (+ λw), exactly as the dense logistic loss.
-        double margin = e.label * Dot(e.x, w);
-        double coeff = -e.label * Sigmoid(-margin);
-        e.x.AxpyInto(scale * coeff, &grad);
-        for (const auto& [index, value] : e.x.entries()) {
-          (void)value;
-          touched.push_back(index);
+      {
+        obs::PhaseTimer timer(&gradient_phase);
+        const double scale = 1.0 / static_cast<double>(batch_len);
+        touched.clear();
+        for (size_t j = 0; j < batch_len; ++j) {
+          const SparseExample& e = data[order[begin + j]];
+          // ∇ℓ = −y·σ(−y⟨w,x⟩)·x (+ λw), exactly as the dense logistic loss.
+          double margin = e.label * Dot(e.x, w);
+          double coeff = -e.label * Sigmoid(-margin);
+          e.x.AxpyInto(scale * coeff, &grad);
+          for (const auto& [index, value] : e.x.entries()) {
+            (void)value;
+            touched.push_back(index);
+          }
+          if (lambda > 0.0) grad.Axpy(scale * lambda, w);
+          ++stats.gradient_evaluations;
         }
-        if (lambda > 0.0) grad.Axpy(scale * lambda, w);
-        ++stats.gradient_evaluations;
       }
 
       if (noise != nullptr) {
+        obs::PhaseTimer timer(&noise_phase);
         BOLTON_ASSIGN_OR_RETURN(Vector z, noise->Sample(step, dim, rng));
         grad += z;
         ++stats.noise_samples;
@@ -103,7 +120,10 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
       } else {
         w.Axpy(-eta, grad);
       }
-      if (project) ProjectToL2BallInPlace(&w, options.radius);
+      if (project) {
+        obs::PhaseTimer timer(&projection_phase);
+        ProjectToL2BallInPlace(&w, options.radius);
+      }
       if (grad_is_sparse) {
         for (size_t index : touched) grad[index] = 0.0;
       } else {
@@ -113,6 +133,18 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
       ++stats.updates;
       if (options.output == OutputMode::kAverageAll) iterate_sum += w;
     }
+  }
+
+  {
+    static obs::Counter* gradient_evaluations =
+        obs::MetricsRegistry::Default().GetCounter("gradient_evaluations");
+    static obs::Counter* model_updates =
+        obs::MetricsRegistry::Default().GetCounter("model_updates");
+    static obs::Counter* noise_samples =
+        obs::MetricsRegistry::Default().GetCounter("noise_samples");
+    gradient_evaluations->Increment(stats.gradient_evaluations);
+    model_updates->Increment(stats.updates);
+    noise_samples->Increment(stats.noise_samples);
   }
 
   PsgdOutput out;

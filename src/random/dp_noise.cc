@@ -2,10 +2,38 @@
 
 #include <cmath>
 
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "random/distributions.h"
 #include "util/strings.h"
 
 namespace bolton {
+
+namespace {
+
+/// One ledger event per mechanism draw, with the parameters actually used.
+/// `fingerprint` must be captured from the rng BEFORE the draw consumed it.
+void RecordDrawEvent(const char* mechanism, const char* label, size_t dim,
+                     double sensitivity, double epsilon, double delta,
+                     double noise_scale, double noise_norm,
+                     uint64_t fingerprint) {
+  obs::PrivacyLedger& ledger = obs::PrivacyLedger::Default();
+  if (!ledger.enabled()) return;
+  obs::LedgerEvent event;
+  event.kind = "noise_draw";
+  event.mechanism = mechanism;
+  event.label = label;
+  event.epsilon = epsilon;
+  event.delta = delta;
+  event.sensitivity = sensitivity;
+  event.noise_scale = noise_scale;
+  event.noise_norm = noise_norm;
+  event.dim = dim;
+  event.rng_fingerprint = fingerprint;
+  ledger.Record(std::move(event));
+}
+
+}  // namespace
 
 Result<Vector> SampleSphericalLaplace(size_t dim, double sensitivity,
                                       double epsilon, Rng* rng) {
@@ -16,12 +44,23 @@ Result<Vector> SampleSphericalLaplace(size_t dim, double sensitivity,
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be > 0 for epsilon-DP noise");
   }
-  if (sensitivity == 0.0) return Vector(dim);
+  static obs::Counter* draws =
+      obs::MetricsRegistry::Default().GetCounter("dp_noise.laplace_draws");
+  draws->Increment();
+  const bool audit = obs::PrivacyLedger::Default().enabled();
+  const uint64_t fingerprint = audit ? rng->StateFingerprint() : 0;
+  if (sensitivity == 0.0) {
+    RecordDrawEvent("laplace", "dp_noise.spherical_laplace", dim,
+                    sensitivity, epsilon, 0.0, 0.0, 0.0, fingerprint);
+    return Vector(dim);
+  }
   // Appendix E: direction uniform on the sphere, magnitude ~ Gamma(d, Δ₂/ε).
   Vector direction = SampleUnitSphere(dim, rng);
   double magnitude =
       SampleGamma(static_cast<double>(dim), sensitivity / epsilon, rng);
   direction *= magnitude;
+  RecordDrawEvent("laplace", "dp_noise.spherical_laplace", dim, sensitivity,
+                  epsilon, 0.0, sensitivity / epsilon, magnitude, fingerprint);
   return direction;
 }
 
@@ -49,7 +88,15 @@ Result<Vector> SampleGaussianMechanism(size_t dim, double sensitivity,
   if (dim < 1) return Status::InvalidArgument("noise dimension must be >= 1");
   BOLTON_ASSIGN_OR_RETURN(double sigma,
                           GaussianMechanismSigma(sensitivity, epsilon, delta));
-  return SampleGaussianVector(dim, sigma, rng);
+  static obs::Counter* draws =
+      obs::MetricsRegistry::Default().GetCounter("dp_noise.gaussian_draws");
+  draws->Increment();
+  const bool audit = obs::PrivacyLedger::Default().enabled();
+  const uint64_t fingerprint = audit ? rng->StateFingerprint() : 0;
+  Vector noise = SampleGaussianVector(dim, sigma, rng);
+  RecordDrawEvent("gaussian", "dp_noise.gaussian_mechanism", dim, sensitivity,
+                  epsilon, delta, sigma, noise.Norm(), fingerprint);
+  return noise;
 }
 
 double LaplaceNoiseNormBound(size_t dim, double sensitivity, double epsilon,

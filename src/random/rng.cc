@@ -75,4 +75,15 @@ double Rng::Gaussian() {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+uint64_t Rng::StateFingerprint() const {
+  // Fold the four state words through splitmix64 so nearby states map to
+  // unrelated digests. Read-only: the generator sequence is unaffected.
+  uint64_t digest = 0;
+  for (uint64_t word : s_) {
+    uint64_t sm = digest ^ word;
+    digest = SplitMix64(&sm);
+  }
+  return digest;
+}
+
 }  // namespace bolton

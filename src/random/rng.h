@@ -50,6 +50,11 @@ class Rng {
   /// worker/sub-task its own stream derived from the parent seed.
   Rng Split();
 
+  /// 64-bit digest of the current engine state. Consumes no randomness;
+  /// recorded by the privacy ledger (obs/ledger.h) so every noise draw in a
+  /// dump is attributable to the generator state that produced it.
+  uint64_t StateFingerprint() const;
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

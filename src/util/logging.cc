@@ -1,12 +1,16 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 namespace bolton {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_timestamps{false};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -21,22 +25,57 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+// Seconds since the first logged line, on the monotonic clock. Kept local
+// (rather than using obs/telemetry.h) so bolton_util stays dependency-free.
+double MonotonicLogSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Small stable per-thread id; std::this_thread::get_id() is opaque and
+// unreadably long in log lines.
+uint64_t LogThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+bool GetLogTimestamps() {
+  return g_timestamps.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level) {
+    : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
     // Keep just the basename; full paths add noise to log lines.
     const char* base = file;
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelTag(level) << " ";
+    if (GetLogTimestamps()) {
+      char stamp[48];
+      std::snprintf(stamp, sizeof(stamp), "%.6fs t%llu ",
+                    MonotonicLogSeconds(),
+                    static_cast<unsigned long long>(LogThreadId()));
+      stream_ << stamp;
+    }
+    stream_ << base << ":" << line << "] ";
   }
 }
 

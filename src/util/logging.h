@@ -10,9 +10,16 @@ namespace bolton {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped. Defaults to
-/// kInfo. Not thread-synchronized by design: set once at startup.
+/// kInfo. Backed by a relaxed atomic, so it is safe to flip from any thread
+/// while others are logging.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// When enabled, every log line carries a monotonic timestamp (seconds
+/// since the first log call) and a small per-thread id, e.g.
+/// "[I 0.001234s t1 psgd.cc:42] ...". Off by default; relaxed atomic.
+void SetLogTimestamps(bool enabled);
+bool GetLogTimestamps();
 
 namespace internal {
 

@@ -39,6 +39,32 @@ if [ "$ok" != "1" ]; then
   exit 1
 fi
 
+# Telemetry: --metrics dumps counters, --trace-out/--ledger-out write JSONL.
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 4 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/telemetry.model" --metrics \
+    --trace-out "$WORKDIR/trace.jsonl" --ledger-out "$WORKDIR/ledger.jsonl" \
+    > "$WORKDIR/telemetry.train.log"
+
+# The metrics dump must report the work that actually happened.
+gradients=$(awk '$1 == "gradient_evaluations" { print $2 }' \
+    "$WORKDIR/telemetry.train.log")
+if [ -z "$gradients" ] || [ "$gradients" -eq 0 ]; then
+  echo "expected nonzero gradient_evaluations, got '$gradients'" >&2
+  exit 1
+fi
+
+# The trace must contain timed per-pass spans.
+test -s "$WORKDIR/trace.jsonl"
+grep -q '"name":"psgd.pass"' "$WORKDIR/trace.jsonl"
+grep -q '"dur_ns":' "$WORKDIR/trace.jsonl"
+
+# The ledger must record the output-perturbation draw with its mechanism.
+test -s "$WORKDIR/ledger.jsonl"
+grep -q '"kind":"noise_draw"' "$WORKDIR/ledger.jsonl"
+grep -q '"mechanism":"laplace"' "$WORKDIR/ledger.jsonl"
+grep -q '"rng_fingerprint":' "$WORKDIR/ledger.jsonl"
+
 # Unknown subcommands and flags fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "unknown subcommand should fail" >&2

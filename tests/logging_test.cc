@@ -48,6 +48,27 @@ TEST_F(LoggingTest, ErrorAlwaysVisibleAtDefault) {
   EXPECT_NE(out.find("bad thing"), std::string::npos);
 }
 
+TEST_F(LoggingTest, TimestampPrefixIsOptIn) {
+  SetLogLevel(LogLevel::kInfo);
+
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "plain";
+  std::string plain = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(plain.find("s t"), std::string::npos);
+
+  SetLogTimestamps(true);
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "stamped";
+  std::string stamped = ::testing::internal::GetCapturedStderr();
+  SetLogTimestamps(false);
+
+  // "[I <seconds>s t<tid> logging_test.cc:<line>] stamped"
+  EXPECT_NE(stamped.find("[I "), std::string::npos);
+  EXPECT_NE(stamped.find("s t"), std::string::npos);
+  EXPECT_NE(stamped.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(stamped.find("stamped"), std::string::npos);
+}
+
 TEST(CheckTest, PassingCheckIsSilent) {
   // BOLTON_CHECK(true) must not abort or print.
   ::testing::internal::CaptureStderr();

@@ -1,0 +1,193 @@
+#include "obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accountant.h"
+#include "core/bst14.h"
+#include "core/scs13.h"
+#include "data/synthetic.h"
+#include "random/dp_noise.h"
+
+namespace bolton {
+namespace obs {
+namespace {
+
+// The ledger is off by default; every test opts in on a clean log and
+// restores the documented disabled state afterwards.
+class ObsLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PrivacyLedger::Default().Clear();
+    PrivacyLedger::Default().SetEnabled(true);
+  }
+  void TearDown() override {
+    PrivacyLedger::Default().SetEnabled(false);
+    PrivacyLedger::Default().Clear();
+  }
+};
+
+Dataset MakeData(size_t m = 200) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 8;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = 19;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+TEST_F(ObsLedgerTest, LaplaceDrawRecordsOneEventWithActualParameters) {
+  Rng rng(5);
+  const uint64_t fingerprint_before = rng.StateFingerprint();
+  auto noise = SampleSphericalLaplace(16, 0.25, 2.0, &rng);
+  ASSERT_TRUE(noise.ok());
+
+  std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const LedgerEvent& e = events[0];
+  EXPECT_EQ(e.seq, 1u);
+  EXPECT_EQ(e.kind, "noise_draw");
+  EXPECT_EQ(e.mechanism, "laplace");
+  EXPECT_EQ(e.label, "dp_noise.spherical_laplace");
+  EXPECT_DOUBLE_EQ(e.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(e.sensitivity, 0.25);
+  EXPECT_DOUBLE_EQ(e.noise_scale, 0.25 / 2.0);
+  EXPECT_EQ(e.dim, 16u);
+  // The recorded norm is the norm of the vector actually returned, and the
+  // fingerprint identifies the generator state that produced it.
+  EXPECT_NEAR(e.noise_norm, noise.value().Norm(), 1e-9);
+  EXPECT_EQ(e.rng_fingerprint, fingerprint_before);
+  EXPECT_NE(e.rng_fingerprint, rng.StateFingerprint());
+}
+
+TEST_F(ObsLedgerTest, GaussianDrawRecordsSigmaAndNorm) {
+  Rng rng(6);
+  auto noise = SampleGaussianMechanism(16, 0.5, 0.5, 1e-6, &rng);
+  ASSERT_TRUE(noise.ok());
+  double sigma = GaussianMechanismSigma(0.5, 0.5, 1e-6).value();
+
+  std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const LedgerEvent& e = events[0];
+  EXPECT_EQ(e.kind, "noise_draw");
+  EXPECT_EQ(e.mechanism, "gaussian");
+  EXPECT_DOUBLE_EQ(e.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(e.delta, 1e-6);
+  EXPECT_DOUBLE_EQ(e.noise_scale, sigma);
+  EXPECT_NEAR(e.noise_norm, noise.value().Norm(), 1e-9);
+}
+
+TEST_F(ObsLedgerTest, ZeroSensitivityStillAudited) {
+  Rng rng(7);
+  ASSERT_TRUE(SampleSphericalLaplace(4, 0.0, 1.0, &rng).ok());
+  std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(events[0].noise_norm, 0.0);
+}
+
+TEST_F(ObsLedgerTest, DisabledLedgerRecordsNothing) {
+  PrivacyLedger::Default().SetEnabled(false);
+  Rng rng(8);
+  ASSERT_TRUE(SampleSphericalLaplace(4, 0.1, 1.0, &rng).ok());
+  EXPECT_EQ(PrivacyLedger::Default().size(), 0u);
+}
+
+TEST_F(ObsLedgerTest, AccountantChargesAreAudited) {
+  PrivacyAccountant accountant(PrivacyParams{1.0, 0.0});
+  ASSERT_TRUE(accountant.Charge({0.4, 0.0}, "query-1").ok());
+  ASSERT_FALSE(accountant.Charge({0.8, 0.0}, "query-2").ok());
+  ASSERT_TRUE(accountant.Charge({0.6, 0.0}, "query-3").ok());
+
+  std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, "accountant_charge");
+  EXPECT_EQ(events[0].label, "query-1");
+  EXPECT_DOUBLE_EQ(events[0].epsilon, 0.4);
+  EXPECT_TRUE(events[0].accepted);
+  EXPECT_EQ(events[1].label, "query-2");
+  EXPECT_FALSE(events[1].accepted);
+  EXPECT_TRUE(events[2].accepted);
+  // Sequence numbers are assigned in record order.
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].seq, 3u);
+}
+
+TEST_F(ObsLedgerTest, Scs13RunLogsCalibrationPlusEveryDraw) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.01, 100.0).MoveValue();
+  Scs13Options options;
+  options.privacy = PrivacyParams{1.0, 0.0};
+  options.passes = 2;
+  options.batch_size = 20;
+  Rng rng(9);
+  auto out = RunScs13(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+
+  size_t calibrations = 0, draws = 0;
+  for (const LedgerEvent& e : PrivacyLedger::Default().Snapshot()) {
+    if (e.kind == "calibration") ++calibrations;
+    if (e.kind == "noise_draw") ++draws;
+  }
+  EXPECT_EQ(calibrations, 1u);
+  EXPECT_EQ(draws, out.value().stats.noise_samples);
+  EXPECT_GT(draws, 0u);
+}
+
+TEST_F(ObsLedgerTest, Bst14RunLogsCalibrationPlusEveryDraw) {
+  Dataset data = MakeData();
+  auto loss = MakeLogisticLoss(0.01, 100.0).MoveValue();
+  Bst14Options options;
+  options.privacy = PrivacyParams{0.5, 1e-6};
+  options.passes = 2;
+  options.batch_size = 20;
+  Rng rng(10);
+  auto out = RunBst14StronglyConvex(data, *loss, options, &rng);
+  ASSERT_TRUE(out.ok());
+
+  size_t calibrations = 0, draws = 0;
+  for (const LedgerEvent& e : PrivacyLedger::Default().Snapshot()) {
+    if (e.kind == "calibration") ++calibrations;
+    if (e.kind == "noise_draw") {
+      ++draws;
+      EXPECT_EQ(e.mechanism, "gaussian_per_step");
+      EXPECT_GT(e.step, 0u);
+    }
+  }
+  EXPECT_EQ(calibrations, 1u);
+  EXPECT_EQ(draws, out.value().stats.noise_samples);
+  EXPECT_GT(draws, 0u);
+}
+
+TEST_F(ObsLedgerTest, JsonlHasOneObjectPerEvent) {
+  Rng rng(11);
+  ASSERT_TRUE(SampleSphericalLaplace(4, 0.1, 1.0, &rng).ok());
+  ASSERT_TRUE(SampleGaussianMechanism(4, 0.1, 0.5, 1e-6, &rng).ok());
+
+  std::string jsonl = PrivacyLedger::Default().ToJsonl();
+  size_t lines = 0;
+  for (size_t pos = 0; (pos = jsonl.find('\n', pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.rfind("{\"seq\":1,", 0), 0u);
+  EXPECT_NE(jsonl.find("\"kind\":\"noise_draw\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mechanism\":\"laplace\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mechanism\":\"gaussian\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"rng_fingerprint\":"), std::string::npos);
+}
+
+TEST_F(ObsLedgerTest, ClearEmptiesAndRestartsSequence) {
+  Rng rng(12);
+  ASSERT_TRUE(SampleSphericalLaplace(4, 0.1, 1.0, &rng).ok());
+  PrivacyLedger::Default().Clear();
+  EXPECT_EQ(PrivacyLedger::Default().size(), 0u);
+  ASSERT_TRUE(SampleSphericalLaplace(4, 0.1, 1.0, &rng).ok());
+  ASSERT_EQ(PrivacyLedger::Default().size(), 1u);
+  EXPECT_EQ(PrivacyLedger::Default().Snapshot()[0].seq, 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bolton

@@ -19,6 +19,9 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/trainer.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -89,6 +92,8 @@ int Train(int argc, char** argv) {
   std::string model_path = "model.txt";
   double epsilon = 1.0, delta = 0.0, lambda = 0.0, huber_h = 0.1;
   int64_t passes = 10, batch = 50;
+  bool metrics = false;
+  std::string trace_out, ledger_out;
 
   FlagParser parser;
   AddDataFlags(&parser, &data_flags);
@@ -101,11 +106,20 @@ int Train(int argc, char** argv) {
   parser.AddDouble("huber", &huber_h, "Huber smoothing width");
   parser.AddInt("passes", &passes, "SGD passes");
   parser.AddInt("batch", &batch, "mini-batch size");
+  parser.AddBool("metrics", &metrics, "print a metrics dump after training");
+  parser.AddString("trace-out", &trace_out,
+                   "write trace spans as JSONL to this file");
+  parser.AddString("ledger-out", &ledger_out,
+                   "write the privacy-spend ledger as JSONL to this file");
   parser.Parse(argc, argv).CheckOK();
   if (parser.help_requested()) {
     parser.PrintHelp("boltondp train");
     return 0;
   }
+
+  if (metrics) obs::SetMetricsEnabled(true);
+  if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
+  if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
 
   auto data = LoadTrainingData(data_flags);
   data.status().CheckOK();
@@ -144,6 +158,22 @@ int Train(int argc, char** argv) {
                 ComputeBinaryStats(model.value(), data.value())
                     .ToString()
                     .c_str());
+  }
+
+  if (metrics) {
+    std::printf("%s", obs::MetricsRegistry::Default().Snapshot()
+                          .ToText()
+                          .c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Default().WriteJsonl(trace_out).CheckOK();
+    std::printf("wrote %zu trace spans -> %s\n",
+                obs::TraceRecorder::Default().size(), trace_out.c_str());
+  }
+  if (!ledger_out.empty()) {
+    obs::PrivacyLedger::Default().WriteJsonl(ledger_out).CheckOK();
+    std::printf("wrote %zu ledger events -> %s\n",
+                obs::PrivacyLedger::Default().size(), ledger_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Full verification sweep: a Debug + address/UB-sanitizer build of the whole
+# tree, the entire ctest suite under the sanitizers, and a schema check of
+# the telemetry JSONL the CLI emits. Wired to `cmake --build build -t check`;
+# also runnable standalone from the repo root:
+#
+#   sh tools/run_checks.sh [build-dir]
+#
+# The sanitized build lives in its own directory (default build-asan/) so it
+# never disturbs the primary build.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+
+echo "== configure (Debug, -fsanitize=address,undefined) =="
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  > "$BUILD.configure.log" 2>&1 || { cat "$BUILD.configure.log"; exit 1; }
+
+echo "== build =="
+cmake --build "$BUILD" -j
+
+echo "== ctest (sanitized) =="
+ctest --test-dir "$BUILD" --output-on-failure -j 4
+
+echo "== telemetry schema check =="
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+CLI="$BUILD/tools/boltondp"
+"$CLI" datagen --dataset protein --scale 0.02 --seed 3 \
+    --out "$WORKDIR/train.libsvm" > /dev/null
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo scs13 \
+    --epsilon 2 --lambda 0.01 --passes 3 --batch 10 \
+    --model "$WORKDIR/model.txt" \
+    --trace-out "$WORKDIR/trace.jsonl" \
+    --ledger-out "$WORKDIR/ledger.jsonl" > /dev/null
+
+# Every ledger line must be one JSON object carrying the full event schema.
+awk '
+  !/^\{"seq":[0-9]+,/ || !/\}$/ { bad = 1 }
+  !/"kind":"(noise_draw|accountant_charge|calibration)"/ { bad = 1 }
+  !/"epsilon":/ || !/"sensitivity":/ || !/"noise_norm":/ { bad = 1 }
+  !/"rng_fingerprint":/ || !/"accepted":(true|false)/ { bad = 1 }
+  bad { print "malformed ledger line " NR ": " $0; exit 1 }
+  END { if (NR == 0) { print "empty ledger"; exit 1 } }
+' "$WORKDIR/ledger.jsonl"
+
+# Every trace line must be a span with an id and a duration.
+awk '
+  !/^\{"name":"/ || !/"id":[0-9]+/ || !/"dur_ns":[0-9]+/ {
+    print "malformed trace line " NR ": " $0; exit 1
+  }
+  END { if (NR == 0) { print "empty trace"; exit 1 } }
+' "$WORKDIR/trace.jsonl"
+
+echo "all checks passed"
