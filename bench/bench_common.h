@@ -19,8 +19,10 @@
 #include "data/synthetic.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/strings.h"
@@ -197,12 +199,79 @@ inline void DumpTelemetry(bool metrics, const std::string& trace_out,
 
 /// google-benchmark binaries have no FlagParser pass; BOLTON_TELEMETRY=1 in
 /// the environment turns on all three pillars instead. Returns whether it
-/// did, so main can DumpTelemetry at shutdown.
+/// did, so main can DumpTelemetry at shutdown. BOLTON_OBS_PORT=N
+/// additionally serves the live observability endpoint on 127.0.0.1:N
+/// (N=0 for an ephemeral port, printed to stderr) for the whole run.
 inline bool EnableTelemetryFromEnv() {
+  bool enabled = false;
   const char* env = std::getenv("BOLTON_TELEMETRY");
-  if (env == nullptr || env[0] == '\0' || env[0] == '0') return false;
-  obs::SetAllEnabled(true);
-  return true;
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    obs::SetAllEnabled(true);
+    enabled = true;
+  }
+  const char* obs_port = std::getenv("BOLTON_OBS_PORT");
+  if (obs_port != nullptr && obs_port[0] != '\0') {
+    auto port = ParseInt(obs_port);
+    if (port.ok() && port.value() >= 0) {
+      obs::SetAllEnabled(true);
+      enabled = true;
+      Status status =
+          obs::StartDefaultObsServer(static_cast<int>(port.value()));
+      if (status.ok()) {
+        std::fprintf(stderr, "obs server listening on 127.0.0.1:%d\n",
+                     obs::DefaultObsServer()->port());
+      } else {
+        std::fprintf(stderr, "obs server failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  }
+  return enabled;
+}
+
+/// -------- Machine-readable bench results (the perf-trajectory pipeline)
+///
+/// Benches accumulate one row per measured configuration; `--json-out=FILE`
+/// writes them as a single JSON document that tools/benchdiff.py can merge
+/// into BENCH_*.json baselines and diff for throughput regressions. Rows
+/// are recorded unconditionally (a handful of strings per run); only the
+/// file write is gated on the flag.
+struct BenchResultRow {
+  std::string figure;    // "fig2_scalability"
+  std::string name;      // unique series key within the figure
+  std::string dataset;
+  std::string algo;
+  double epsilon = 0.0;      // 0 when not applicable
+  double wall_seconds = 0.0; // < 0 when not measured
+  double rows_per_sec = 0.0; // examples processed per second; 0 = n/a
+  double accuracy = -1.0;    // test accuracy; < 0 = n/a
+};
+
+inline std::vector<BenchResultRow>& BenchResults() {
+  static std::vector<BenchResultRow>* rows = new std::vector<BenchResultRow>();
+  return *rows;
+}
+
+inline void AddBenchResult(BenchResultRow row) {
+  BenchResults().push_back(std::move(row));
+}
+
+inline std::string BenchResultsToJson() {
+  std::string out = "{\"schema\":\"boltondp-bench-v1\",\"results\":[";
+  bool first = true;
+  for (const BenchResultRow& r : BenchResults()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "\n {\"figure\":\"%s\",\"name\":\"%s\",\"dataset\":\"%s\","
+        "\"algo\":\"%s\",\"epsilon\":%.17g,\"wall_seconds\":%.17g,"
+        "\"rows_per_sec\":%.17g,\"accuracy\":%.17g}",
+        obs::JsonEscape(r.figure).c_str(), obs::JsonEscape(r.name).c_str(),
+        obs::JsonEscape(r.dataset).c_str(), obs::JsonEscape(r.algo).c_str(),
+        r.epsilon, r.wall_seconds, r.rows_per_sec, r.accuracy);
+  }
+  out += "\n]}\n";
+  return out;
 }
 
 /// Standard flags shared by the accuracy benches.
@@ -214,6 +283,8 @@ struct CommonFlags {
   bool metrics = false;
   std::string trace_out;
   std::string ledger_out;
+  std::string json_out;
+  int64_t serve_obs = -1;
 
   Status Parse(int argc, char** argv, const char* program) {
     FlagParser parser;
@@ -228,6 +299,12 @@ struct CommonFlags {
                      "write trace spans as JSONL to this file on exit");
     parser.AddString("ledger-out", &ledger_out,
                      "write the privacy-spend ledger as JSONL on exit");
+    parser.AddString("json-out", &json_out,
+                     "write machine-readable result rows as JSON on exit "
+                     "(tools/benchdiff.py consumes these)");
+    parser.AddInt("serve-obs", &serve_obs,
+                  "serve live observability HTTP on 127.0.0.1:PORT for the "
+                  "run (0 = ephemeral, -1 = off)");
     BOLTON_RETURN_IF_ERROR(parser.Parse(argc, argv));
     if (parser.help_requested()) {
       parser.PrintHelp(program);
@@ -236,6 +313,13 @@ struct CommonFlags {
     if (metrics) obs::SetMetricsEnabled(true);
     if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
     if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
+    if (serve_obs >= 0) {
+      obs::SetAllEnabled(true);
+      BOLTON_RETURN_IF_ERROR(
+          obs::StartDefaultObsServer(static_cast<int>(serve_obs)));
+      std::fprintf(stderr, "obs server listening on 127.0.0.1:%d\n",
+                   obs::DefaultObsServer()->port());
+    }
     return Status::OK();
   }
 
@@ -244,7 +328,21 @@ struct CommonFlags {
   }
 
   /// Every bench exports on exit without per-binary dump code.
-  ~CommonFlags() { DumpTelemetry(metrics, trace_out, ledger_out); }
+  ~CommonFlags() {
+    DumpTelemetry(metrics, trace_out, ledger_out);
+    if (!json_out.empty()) {
+      Status status =
+          obs::internal::WriteStringToFile(json_out, BenchResultsToJson());
+      if (!status.ok()) {
+        std::fprintf(stderr, "bench json export failed: %s\n",
+                     status.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "wrote %zu bench result rows -> %s\n",
+                     BenchResults().size(), json_out.c_str());
+      }
+    }
+    obs::StopDefaultObsServer();
+  }
 };
 
 /// Mean test accuracy over `repeats` seeds.

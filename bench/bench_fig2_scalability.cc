@@ -65,6 +65,7 @@ void RunPanel(const char* title, StorageMode mode,
   std::printf("%s\n", title);
   std::printf("  %-10s %-12s %-12s %-12s %-12s\n", "m", "noiseless",
               "ours", "scs13", "bst14");
+  const char* storage = mode == StorageMode::kMemory ? "memory" : "disk";
   auto loss = MakeLogisticLoss(1e-4, 1e4).MoveValue();
   for (size_t m : sizes) {
     Dataset data = GenerateTwoGaussians(m, 50, 1.5, seed + m).MoveValue();
@@ -74,13 +75,25 @@ void RunPanel(const char* title, StorageMode mode,
 
     Scs13StyleNoise scs13;
     Bst14StyleNoise bst14;
-    double t_noiseless =
-        EpochSeconds(table.get(), *loss, false, nullptr, seed);
-    double t_ours = EpochSeconds(table.get(), *loss, true, nullptr, seed);
-    double t_scs13 = EpochSeconds(table.get(), *loss, false, &scs13, seed);
-    double t_bst14 = EpochSeconds(table.get(), *loss, false, &bst14, seed);
-    std::printf("  %-10zu %-12.4f %-12.4f %-12.4f %-12.4f\n", m, t_noiseless,
-                t_ours, t_scs13, t_bst14);
+    const std::pair<const char*, double> timings[] = {
+        {"noiseless", EpochSeconds(table.get(), *loss, false, nullptr, seed)},
+        {"ours", EpochSeconds(table.get(), *loss, true, nullptr, seed)},
+        {"scs13", EpochSeconds(table.get(), *loss, false, &scs13, seed)},
+        {"bst14", EpochSeconds(table.get(), *loss, false, &bst14, seed)},
+    };
+    std::printf("  %-10zu %-12.4f %-12.4f %-12.4f %-12.4f\n", m,
+                timings[0].second, timings[1].second, timings[2].second,
+                timings[3].second);
+    for (const auto& [algo, seconds] : timings) {
+      BenchResultRow row;
+      row.figure = "fig2_scalability";
+      row.name = StrFormat("%s/%s/m=%zu", storage, algo, m);
+      row.dataset = "two_gaussians";
+      row.algo = algo;
+      row.wall_seconds = seconds;
+      row.rows_per_sec = seconds > 0 ? static_cast<double>(m) / seconds : 0;
+      AddBenchResult(std::move(row));
+    }
   }
 }
 

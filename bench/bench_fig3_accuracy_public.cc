@@ -36,11 +36,30 @@ int Run(int argc, char** argv) {
         for (Algorithm algorithm : AlgorithmsFor(scenario)) {
           TrainerConfig config =
               ScenarioConfig(scenario, algorithm, epsilon, m);
+          const uint64_t start_ns = obs::MonotonicNanos();
           auto acc = MeanAccuracy(data.value(), config,
                                   static_cast<int>(flags.repeats),
                                   flags.seed + scenario.id);
           acc.status().CheckOK();
           accuracies.push_back(acc.value());
+
+          BenchResultRow row;
+          row.figure = "fig3_accuracy_public";
+          row.name = StrFormat("%s/test%d/%s/eps=%g", dataset.c_str(),
+                               scenario.id, AlgorithmName(algorithm),
+                               epsilon);
+          row.dataset = dataset;
+          row.algo = AlgorithmName(algorithm);
+          row.epsilon = epsilon;
+          row.wall_seconds =
+              static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          row.rows_per_sec =
+              row.wall_seconds > 0
+                  ? static_cast<double>(m) * 10 * flags.repeats /
+                        row.wall_seconds
+                  : 0;
+          row.accuracy = acc.value();
+          AddBenchResult(std::move(row));
         }
         PrintAccuracyRow(epsilon, accuracies, scenario.approx_dp);
         for (size_t baseline = 2; baseline < accuracies.size(); ++baseline) {

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv, "bench_fig6_accuracy_private").CheckOK();
   std::printf("== Figure 6: Accuracy vs epsilon (private tuning, "
               "Algorithm 3, logistic regression) ==\n");
-  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kLogistic);
+  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kLogistic,
+                                       "fig6_accuracy_private");
   return 0;
 }

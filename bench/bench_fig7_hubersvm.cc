@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv, "bench_fig7_hubersvm").CheckOK();
   std::printf("== Figure 7: Accuracy vs epsilon (private tuning, "
               "Algorithm 3, Huber SVM h=0.1) ==\n");
-  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kHuberSvm);
+  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kHuberSvm,
+                                       "fig7_hubersvm");
   return 0;
 }

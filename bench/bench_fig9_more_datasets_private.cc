@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv, "bench_fig9_more_datasets_private").CheckOK();
   std::printf("== Figure 9: Additional datasets, private tuning "
               "(Algorithm 3) ==\n");
-  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kLogistic);
+  bolton::bench::RunPrivateTunedFigure(flags, bolton::ModelKind::kLogistic,
+                                       "fig9_more_datasets_private");
   return 0;
 }

@@ -91,9 +91,10 @@ inline Result<double> PrivateTunedMulticlassAccuracy(
 }
 
 /// Prints one full figure (every dataset × scenario × ε) for the given
-/// model family.
+/// model family; `figure` labels the machine-readable result rows.
 inline void RunPrivateTunedFigure(const CommonFlags& flags,
-                                  ModelKind model_kind) {
+                                  ModelKind model_kind,
+                                  const char* figure) {
   const int repeats = static_cast<int>(flags.repeats);
   for (const std::string& dataset : flags.DatasetList()) {
     auto data = LoadBenchData(dataset, flags.scale, flags.seed);
@@ -107,6 +108,7 @@ inline void RunPrivateTunedFigure(const CommonFlags& flags,
       for (double epsilon : EpsilonGridFor(dataset)) {
         std::vector<double> accuracies;
         for (Algorithm algorithm : AlgorithmsFor(scenario)) {
+          const uint64_t start_ns = obs::MonotonicNanos();
           Result<double> acc =
               data.value().multiclass
                   ? PrivateTunedMulticlassAccuracy(
@@ -117,6 +119,19 @@ inline void RunPrivateTunedFigure(const CommonFlags& flags,
                         epsilon, repeats, flags.seed + 10 * scenario.id);
           acc.status().CheckOK();
           accuracies.push_back(acc.value());
+
+          BenchResultRow row;
+          row.figure = figure;
+          row.name = StrFormat("%s/test%d/%s/eps=%g", dataset.c_str(),
+                               scenario.id, AlgorithmName(algorithm),
+                               epsilon);
+          row.dataset = dataset;
+          row.algo = AlgorithmName(algorithm);
+          row.epsilon = epsilon;
+          row.wall_seconds =
+              static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          row.accuracy = acc.value();
+          AddBenchResult(std::move(row));
         }
         PrintAccuracyRow(epsilon, accuracies, scenario.approx_dp);
       }

@@ -1,0 +1,214 @@
+#include "obs/export.h"
+
+#include <cmath>
+
+#include "obs/telemetry.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+
+std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out = "# counters\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("%-40s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += "# gauges\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("%-40s %g\n", name.c_str(), value);
+  }
+  out += "# histograms\n";
+  for (const MetricsSnapshot::HistogramData& h : snapshot.histograms) {
+    out += StrFormat("%-40s count=%llu sum=%.9g\n", h.name.c_str(),
+                     static_cast<unsigned long long>(h.count), h.sum);
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      const std::string edge =
+          i < h.bounds.size() ? StrFormat("%g", h.bounds[i]) : "+inf";
+      out += StrFormat("  le=%-12s %llu\n", edge.c_str(),
+                       static_cast<unsigned long long>(h.bucket_counts[i]));
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.17g}\n",
+                     JsonEscape(name).c_str(), value);
+  }
+  for (const MetricsSnapshot::HistogramData& h : snapshot.histograms) {
+    out += StrFormat(
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,"
+        "\"sum\":%.17g,\"buckets\":[",
+        JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
+        h.sum);
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ",";
+      const std::string edge = i < h.bounds.size()
+                                   ? StrFormat("%.17g", h.bounds[i])
+                                   : "\"+inf\"";
+      out += StrFormat("{\"le\":%s,\"count\":%llu}", edge.c_str(),
+                       static_cast<unsigned long long>(h.bucket_counts[i]));
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && i > 0)) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+double HistogramQuantile(const MetricsSnapshot::HistogramData& histogram,
+                         double q) {
+  if (histogram.count == 0 || histogram.bucket_counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(histogram.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = histogram.bucket_counts[i];
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      if (i >= histogram.bounds.size()) {
+        // Overflow bucket: no finite upper edge, clamp to the largest bound.
+        return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+      const double upper = histogram.bounds[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", prom.c_str(),
+                     prom.c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %.17g\n", prom.c_str(),
+                     prom.c_str(), value);
+  }
+  for (const MetricsSnapshot::HistogramData& h : snapshot.histograms) {
+    const std::string prom = PrometheusName(h.name);
+    out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string edge =
+          i < h.bounds.size() ? StrFormat("%g", h.bounds[i]) : "+Inf";
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", prom.c_str(),
+                       edge.c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_sum %.17g\n", prom.c_str(), h.sum);
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(h.count));
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"p50", 0.50},
+          {"p95", 0.95},
+          {"p99", 0.99}}) {
+      out += StrFormat("# TYPE %s_%s gauge\n%s_%s %.17g\n", prom.c_str(),
+                       suffix, prom.c_str(), suffix,
+                       HistogramQuantile(h, q));
+    }
+  }
+  return out;
+}
+
+std::string RenderLedgerEventJson(const LedgerEvent& e) {
+  return StrFormat(
+      "{\"seq\":%llu,\"time_ns\":%llu,\"kind\":\"%s\",\"mechanism\":\"%s\","
+      "\"label\":\"%s\",\"epsilon\":%.17g,\"delta\":%.17g,"
+      "\"sensitivity\":%.17g,\"noise_scale\":%.17g,\"noise_norm\":%.17g,"
+      "\"dim\":%llu,\"step\":%llu,\"rng_fingerprint\":%llu,"
+      "\"accepted\":%s}",
+      static_cast<unsigned long long>(e.seq),
+      static_cast<unsigned long long>(e.time_ns), JsonEscape(e.kind).c_str(),
+      JsonEscape(e.mechanism).c_str(), JsonEscape(e.label).c_str(), e.epsilon,
+      e.delta, e.sensitivity, e.noise_scale, e.noise_norm,
+      static_cast<unsigned long long>(e.dim),
+      static_cast<unsigned long long>(e.step),
+      static_cast<unsigned long long>(e.rng_fingerprint),
+      e.accepted ? "true" : "false");
+}
+
+std::string RenderLedgerJsonl(const std::vector<LedgerEvent>& events) {
+  std::string out;
+  for (const LedgerEvent& e : events) {
+    out += RenderLedgerEventJson(e);
+    out += '\n';
+  }
+  return out;
+}
+
+LedgerTotals SummarizeLedger(const std::vector<LedgerEvent>& events) {
+  LedgerTotals totals;
+  totals.events = events.size();
+  for (const LedgerEvent& e : events) {
+    if (!e.accepted) ++totals.rejected;
+    if (e.kind == "noise_draw") {
+      ++totals.noise_draws;
+    } else if (e.kind == "accountant_charge") {
+      ++totals.charges;
+      if (e.accepted) {
+        totals.epsilon_charged += e.epsilon;
+        totals.delta_charged += e.delta;
+      }
+    } else if (e.kind == "calibration") {
+      ++totals.calibrations;
+    }
+  }
+  return totals;
+}
+
+std::string RenderSpanJson(const SpanRecord& s) {
+  return StrFormat(
+      "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"depth\":%d,"
+      "\"start_ns\":%llu,\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu}",
+      JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.id),
+      static_cast<unsigned long long>(s.parent_id), s.depth,
+      static_cast<unsigned long long>(s.start_ns),
+      static_cast<unsigned long long>(s.duration_ns),
+      static_cast<unsigned long long>(s.count),
+      static_cast<unsigned long long>(s.thread_id));
+}
+
+std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const SpanRecord& s : spans) {
+    out += RenderSpanJson(s);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bolton

@@ -1,0 +1,79 @@
+#ifndef BOLTON_OBS_EXPORT_H_
+#define BOLTON_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bolton {
+namespace obs {
+
+/// One rendering path for every telemetry surface. The CLI dump, the JSONL
+/// file exporters, and the HTTP observability endpoints all serialize the
+/// same snapshot types through the functions here, so a metric can never
+/// print one value on the console and a different one on a scrape.
+
+/// -------- Metrics --------
+
+/// Aligned human-readable dump (the `--metrics` console format).
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+
+/// One JSON object per metric.
+std::string RenderMetricsJsonl(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4): counters and gauges
+/// as single samples, histograms as cumulative `_bucket{le="..."}` series
+/// ending in `le="+Inf"` plus `_sum`/`_count`, and derived p50/p95/p99
+/// gauges estimated from the buckets. Metric names are sanitized to the
+/// Prometheus charset ('.' and any other illegal byte become '_').
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// "psgd.pass_seconds" -> "psgd_pass_seconds".
+std::string PrometheusName(const std::string& name);
+
+/// Quantile estimate (q in [0,1]) from cumulative histogram buckets with
+/// linear interpolation inside the owning bucket. Observations in the +Inf
+/// overflow bucket clamp to the largest finite bound; an empty histogram
+/// yields 0.
+double HistogramQuantile(const MetricsSnapshot::HistogramData& histogram,
+                         double q);
+
+/// -------- Privacy ledger --------
+
+/// One ledger event as a single-line JSON object (no trailing newline).
+std::string RenderLedgerEventJson(const LedgerEvent& event);
+
+/// One JSON object per line, in record order.
+std::string RenderLedgerJsonl(const std::vector<LedgerEvent>& events);
+
+/// Spend totals accumulated over a ledger snapshot; the /healthz liveness
+/// payload reports these so the budget is visible while the process runs.
+struct LedgerTotals {
+  uint64_t events = 0;
+  uint64_t noise_draws = 0;
+  uint64_t charges = 0;
+  uint64_t rejected = 0;
+  uint64_t calibrations = 0;
+  /// Sums over *accepted* accountant charges only — draws describe noise
+  /// that was added, charges describe budget that was spent.
+  double epsilon_charged = 0.0;
+  double delta_charged = 0.0;
+};
+
+LedgerTotals SummarizeLedger(const std::vector<LedgerEvent>& events);
+
+/// -------- Trace spans --------
+
+/// One span as a single-line JSON object (no trailing newline).
+std::string RenderSpanJson(const SpanRecord& span);
+
+/// One JSON object per line, in completion order.
+std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace bolton
+
+#endif  // BOLTON_OBS_EXPORT_H_

@@ -1,0 +1,265 @@
+#include "obs/http_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/net.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+std::string StatusLine(int http_status) {
+  switch (http_status) {
+    case 200:
+      return "HTTP/1.0 200 OK";
+    case 400:
+      return "HTTP/1.0 400 Bad Request";
+    case 404:
+      return "HTTP/1.0 404 Not Found";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed";
+    default:
+      return StrFormat("HTTP/1.0 %d Error", http_status);
+  }
+}
+
+/// "/ledger?tail=25" -> path "/ledger", query "tail=25".
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query) {
+  const size_t mark = target.find('?');
+  if (mark == std::string::npos) {
+    *path = target;
+    query->clear();
+  } else {
+    *path = target.substr(0, mark);
+    *query = target.substr(mark + 1);
+  }
+}
+
+/// Value of `key` in an "a=1&b=2" query string, or `fallback`.
+int64_t QueryIntParam(const std::string& query, const std::string& key,
+                      int64_t fallback) {
+  for (const std::string& pair : StrSplit(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.substr(0, eq) != key) continue;
+    auto parsed = ParseInt(pair.substr(eq + 1));
+    if (parsed.ok()) return parsed.value();
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("obs server port out of range: %d", port));
+  }
+  std::unique_ptr<ObsServer> server(new ObsServer());
+  BOLTON_ASSIGN_OR_RETURN(server->listen_fd_,
+                          net::ListenTcp(static_cast<uint16_t>(port)));
+  BOLTON_ASSIGN_OR_RETURN(server->port_, net::LocalPort(server->listen_fd_));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    net::CloseFd(server->listen_fd_);
+    return net::ErrnoStatus("pipe");
+  }
+  server->wake_read_fd_ = pipe_fds[0];
+  server->wake_write_fd_ = pipe_fds[1];
+  server->start_ns_ = MonotonicNanos();
+  server->thread_ = std::thread(&ObsServer::Serve, server.get());
+  return server;
+}
+
+ObsServer::~ObsServer() { Stop(); }
+
+void ObsServer::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Wake the poll loop so the thread notices stop_ without a timeout.
+  const char byte = 'q';
+  (void)!::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  net::CloseFd(listen_fd_);
+  net::CloseFd(wake_read_fd_);
+  net::CloseFd(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+bool ObsServer::WaitForQuit(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(quit_mu_);
+  quit_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                    [this] { return quit_requested(); });
+  return quit_requested();
+}
+
+void ObsServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    net::CloseFd(conn);
+  }
+}
+
+void ObsServer::HandleConnection(int fd) {
+  auto head = net::RecvHttpHead(fd, kMaxRequestBytes);
+  if (!head.ok()) return;
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string& text = head.value();
+  const size_t line_end = text.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? text : text.substr(0, line_end);
+  std::vector<std::string> parts = StrSplit(line, ' ');
+  std::string method = parts.size() > 0 ? parts[0] : "";
+  std::string target = parts.size() > 1 ? parts[1] : "/";
+
+  int http_status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = HandleRequest(method, target, &http_status,
+                                   &content_type);
+  std::string response = StrFormat(
+      "%s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      StatusLine(http_status).c_str(), content_type.c_str(), body.size());
+  response += body;
+  (void)net::SendAll(fd, response.data(), response.size());
+  ::shutdown(fd, SHUT_WR);
+  // Drain whatever the client still sends so its write path never sees a
+  // reset before it reads our response.
+  char drain[256];
+  while (::recv(fd, drain, sizeof(drain), 0) > 0) {
+  }
+}
+
+std::string ObsServer::HandleRequest(const std::string& method,
+                                     const std::string& target,
+                                     int* http_status,
+                                     std::string* content_type) {
+  if (method != "GET") {
+    *http_status = 405;
+    return "only GET is supported\n";
+  }
+  std::string path, query;
+  SplitTarget(target, &path, &query);
+
+  if (path == "/metrics") {
+    // Prometheus scrapers key on this exact version tag.
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return RenderPrometheus(MetricsRegistry::Default().Snapshot());
+  }
+  if (path == "/healthz") {
+    *content_type = "application/json";
+    const LedgerTotals totals =
+        SummarizeLedger(PrivacyLedger::Default().Snapshot());
+    return StrFormat(
+        "{\"status\":\"ok\",\"uptime_ns\":%llu,"
+        "\"metrics_enabled\":%s,\"trace_enabled\":%s,"
+        "\"ledger_enabled\":%s,\"privacy_spend\":{"
+        "\"events\":%llu,\"noise_draws\":%llu,\"charges\":%llu,"
+        "\"rejected\":%llu,\"calibrations\":%llu,"
+        "\"epsilon_charged\":%.17g,\"delta_charged\":%.17g}}\n",
+        static_cast<unsigned long long>(MonotonicNanos() - start_ns_),
+        MetricsEnabled() ? "true" : "false",
+        TraceRecorder::Default().enabled() ? "true" : "false",
+        PrivacyLedger::Default().enabled() ? "true" : "false",
+        static_cast<unsigned long long>(totals.events),
+        static_cast<unsigned long long>(totals.noise_draws),
+        static_cast<unsigned long long>(totals.charges),
+        static_cast<unsigned long long>(totals.rejected),
+        static_cast<unsigned long long>(totals.calibrations),
+        totals.epsilon_charged, totals.delta_charged);
+  }
+  if (path == "/ledger") {
+    const int64_t tail = QueryIntParam(query, "tail", 100);
+    if (tail < 0) {
+      *http_status = 400;
+      return "tail must be >= 0\n";
+    }
+    *content_type = "application/jsonl";
+    std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
+    if (tail > 0 && static_cast<size_t>(tail) < events.size()) {
+      events.erase(events.begin(),
+                   events.end() - static_cast<size_t>(tail));
+    }
+    return RenderLedgerJsonl(events);
+  }
+  if (path == "/spans") {
+    *content_type = "application/jsonl";
+    return RenderSpansJsonl(TraceRecorder::Default().Snapshot());
+  }
+  if (path == "/quitquitquit") {
+    {
+      std::lock_guard<std::mutex> lock(quit_mu_);
+      quit_.store(true, std::memory_order_release);
+    }
+    quit_cv_.notify_all();
+    return "quitting\n";
+  }
+  *http_status = 404;
+  return StrFormat(
+      "no handler for '%s'; try /metrics /healthz /ledger /spans\n",
+      path.c_str());
+}
+
+namespace {
+std::mutex g_default_server_mu;
+std::unique_ptr<ObsServer>& DefaultServerSlot() {
+  static std::unique_ptr<ObsServer>* slot =
+      new std::unique_ptr<ObsServer>();
+  return *slot;
+}
+}  // namespace
+
+Status StartDefaultObsServer(int port) {
+  std::lock_guard<std::mutex> lock(g_default_server_mu);
+  std::unique_ptr<ObsServer>& slot = DefaultServerSlot();
+  if (slot != nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "obs server already running on port %d", slot->port()));
+  }
+  BOLTON_ASSIGN_OR_RETURN(slot, ObsServer::Start(port));
+  return Status::OK();
+}
+
+ObsServer* DefaultObsServer() {
+  std::lock_guard<std::mutex> lock(g_default_server_mu);
+  return DefaultServerSlot().get();
+}
+
+void StopDefaultObsServer() {
+  std::lock_guard<std::mutex> lock(g_default_server_mu);
+  DefaultServerSlot().reset();
+}
+
+}  // namespace obs
+}  // namespace bolton

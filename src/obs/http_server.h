@@ -1,0 +1,95 @@
+#ifndef BOLTON_OBS_HTTP_SERVER_H_
+#define BOLTON_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+
+namespace bolton {
+namespace obs {
+
+/// In-process observability endpoint: a dependency-free blocking-socket
+/// HTTP/1.0 server on a background thread, loopback only, serving the live
+/// state of the three telemetry pillars while the process runs.
+///
+/// Endpoints (all GET):
+///   /metrics        Prometheus text exposition of the MetricsRegistry
+///                   snapshot (cumulative buckets, _sum/_count, +Inf,
+///                   derived p50/p95/p99 gauges).
+///   /healthz        JSON liveness: uptime, pillar enablement, and the
+///                   privacy-spend totals from the ledger.
+///   /ledger?tail=N  Last N privacy-ledger events as JSONL (default 100,
+///                   tail=0 for everything).
+///   /spans          The completed-span buffer as JSONL.
+///   /quitquitquit   Asks the owner to stop lingering (see WaitForQuit);
+///                   lets tests and operators end a --serve-obs run cleanly.
+///
+/// Requests are handled one at a time on the server thread — a scrape is a
+/// snapshot + render, microseconds of work — so there is no connection
+/// pool to manage and the only concurrency is against the lock-free
+/// recording paths, which snapshots already tolerate.
+class ObsServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
+  /// the serving thread. The server runs until Stop()/destruction.
+  static Result<std::unique_ptr<ObsServer>> Start(int port);
+
+  ~ObsServer();
+
+  /// The actually bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Shuts the listener down and joins the thread. Idempotent.
+  void Stop();
+
+  /// True once a /quitquitquit request has been served.
+  bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until /quitquitquit arrives or `timeout_ms` elapses; returns
+  /// quit_requested(). Lets `boltondp train --serve-obs` outlive training
+  /// long enough to be scraped without hanging forever.
+  bool WaitForQuit(int64_t timeout_ms);
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+ private:
+  ObsServer() = default;
+
+  void Serve();
+  void HandleConnection(int fd);
+  std::string HandleRequest(const std::string& method,
+                            const std::string& target, int* http_status,
+                            std::string* content_type);
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: Stop() wakes the poll loop
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  uint64_t start_ns_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> quit_{false};
+  std::mutex quit_mu_;
+  std::condition_variable quit_cv_;
+};
+
+/// Process-wide server instance for flag/env wiring (`--serve-obs`,
+/// BOLTON_OBS_PORT): benches and tools that have no natural owner for the
+/// server share this one.
+Status StartDefaultObsServer(int port);
+ObsServer* DefaultObsServer();
+void StopDefaultObsServer();
+
+}  // namespace obs
+}  // namespace bolton
+
+#endif  // BOLTON_OBS_HTTP_SERVER_H_

@@ -1,7 +1,7 @@
 #include "obs/ledger.h"
 
+#include "obs/export.h"
 #include "obs/telemetry.h"
-#include "util/strings.h"
 
 namespace bolton {
 namespace obs {
@@ -36,25 +36,7 @@ void PrivacyLedger::Clear() {
 }
 
 std::string PrivacyLedger::ToJsonl() const {
-  std::vector<LedgerEvent> events = Snapshot();
-  std::string out;
-  for (const LedgerEvent& e : events) {
-    out += StrFormat(
-        "{\"seq\":%llu,\"time_ns\":%llu,\"kind\":\"%s\",\"mechanism\":\"%s\","
-        "\"label\":\"%s\",\"epsilon\":%.17g,\"delta\":%.17g,"
-        "\"sensitivity\":%.17g,\"noise_scale\":%.17g,\"noise_norm\":%.17g,"
-        "\"dim\":%llu,\"step\":%llu,\"rng_fingerprint\":%llu,"
-        "\"accepted\":%s}\n",
-        static_cast<unsigned long long>(e.seq),
-        static_cast<unsigned long long>(e.time_ns),
-        JsonEscape(e.kind).c_str(), JsonEscape(e.mechanism).c_str(),
-        JsonEscape(e.label).c_str(), e.epsilon, e.delta, e.sensitivity,
-        e.noise_scale, e.noise_norm, static_cast<unsigned long long>(e.dim),
-        static_cast<unsigned long long>(e.step),
-        static_cast<unsigned long long>(e.rng_fingerprint),
-        e.accepted ? "true" : "false");
-  }
-  return out;
+  return RenderLedgerJsonl(Snapshot());
 }
 
 Status PrivacyLedger::WriteJsonl(const std::string& path) const {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
 #include "obs/telemetry.h"
 #include "util/strings.h"
 
@@ -115,58 +116,10 @@ void MetricsRegistry::Reset() {
   }
 }
 
-std::string MetricsSnapshot::ToText() const {
-  std::string out = "# counters\n";
-  for (const auto& [name, value] : counters) {
-    out += StrFormat("%-40s %llu\n", name.c_str(),
-                     static_cast<unsigned long long>(value));
-  }
-  out += "# gauges\n";
-  for (const auto& [name, value] : gauges) {
-    out += StrFormat("%-40s %g\n", name.c_str(), value);
-  }
-  out += "# histograms\n";
-  for (const HistogramData& h : histograms) {
-    out += StrFormat("%-40s count=%llu sum=%.9g\n", h.name.c_str(),
-                     static_cast<unsigned long long>(h.count), h.sum);
-    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
-      const std::string edge =
-          i < h.bounds.size() ? StrFormat("%g", h.bounds[i]) : "+inf";
-      out += StrFormat("  le=%-12s %llu\n", edge.c_str(),
-                       static_cast<unsigned long long>(h.bucket_counts[i]));
-    }
-  }
-  return out;
-}
+std::string MetricsSnapshot::ToText() const { return RenderMetricsText(*this); }
 
 std::string MetricsSnapshot::ToJsonl() const {
-  std::string out;
-  for (const auto& [name, value] : counters) {
-    out += StrFormat("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
-                     JsonEscape(name).c_str(),
-                     static_cast<unsigned long long>(value));
-  }
-  for (const auto& [name, value] : gauges) {
-    out += StrFormat("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.17g}\n",
-                     JsonEscape(name).c_str(), value);
-  }
-  for (const HistogramData& h : histograms) {
-    out += StrFormat(
-        "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,"
-        "\"sum\":%.17g,\"buckets\":[",
-        JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
-        h.sum);
-    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
-      if (i > 0) out += ",";
-      const std::string edge = i < h.bounds.size()
-                                   ? StrFormat("%.17g", h.bounds[i])
-                                   : "\"+inf\"";
-      out += StrFormat("{\"le\":%s,\"count\":%llu}", edge.c_str(),
-                       static_cast<unsigned long long>(h.bucket_counts[i]));
-    }
-    out += "]}\n";
-  }
-  return out;
+  return RenderMetricsJsonl(*this);
 }
 
 Status WriteMetricsText(const std::string& path) {

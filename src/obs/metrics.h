@@ -123,8 +123,11 @@ struct MetricsSnapshot {
   std::vector<HistogramData> histograms;
 
   /// Aligned human-readable dump, one metric per line, grouped by kind.
+  /// Thin wrapper over RenderMetricsText (obs/export.h), which also feeds
+  /// the HTTP /metrics endpoint — one rendering path for every surface.
   std::string ToText() const;
   /// One JSON object per line: {"type":"counter","name":...,"value":...}.
+  /// Wrapper over RenderMetricsJsonl (obs/export.h).
   std::string ToJsonl() const;
 };
 

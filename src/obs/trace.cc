@@ -1,6 +1,6 @@
 #include "obs/trace.h"
 
-#include "util/strings.h"
+#include "obs/export.h"
 
 namespace bolton {
 namespace obs {
@@ -31,20 +31,7 @@ void TraceRecorder::Clear() {
 }
 
 std::string TraceRecorder::ToJsonl() const {
-  std::vector<SpanRecord> spans = Snapshot();
-  std::string out;
-  for (const SpanRecord& s : spans) {
-    out += StrFormat(
-        "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"depth\":%d,"
-        "\"start_ns\":%llu,\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu}\n",
-        JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.id),
-        static_cast<unsigned long long>(s.parent_id), s.depth,
-        static_cast<unsigned long long>(s.start_ns),
-        static_cast<unsigned long long>(s.duration_ns),
-        static_cast<unsigned long long>(s.count),
-        static_cast<unsigned long long>(s.thread_id));
-  }
-  return out;
+  return RenderSpansJsonl(Snapshot());
 }
 
 Status TraceRecorder::WriteJsonl(const std::string& path) const {

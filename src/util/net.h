@@ -1,0 +1,49 @@
+#ifndef BOLTON_UTIL_NET_H_
+#define BOLTON_UTIL_NET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace bolton {
+namespace net {
+
+/// Thin POSIX-socket helpers shared by the observability HTTP server and
+/// its raw-socket clients (the `boltondp scrape` subcommand, obs_http_test).
+/// Loopback only: the observability surface is an operator port, not a
+/// public listener, so every helper binds/connects to 127.0.0.1.
+
+/// Creates a TCP listener on 127.0.0.1:`port` (SO_REUSEADDR, backlog 16).
+/// `port` 0 asks the kernel for an ephemeral port; recover the actual one
+/// with LocalPort(). Returns the listening fd.
+Result<int> ListenTcp(uint16_t port);
+
+/// The locally bound port of a socket fd (after ListenTcp(0)).
+Result<int> LocalPort(int fd);
+
+/// Connects to 127.0.0.1:`port`. Returns the connected fd.
+Result<int> ConnectTcp(uint16_t port);
+
+/// Writes all `len` bytes, retrying on short writes and EINTR.
+Status SendAll(int fd, const char* data, size_t len);
+
+/// Reads until EOF or `max_bytes`, whichever comes first. Used by clients
+/// that scrape one response off a connection the server half-closes.
+Result<std::string> RecvAll(int fd, size_t max_bytes);
+
+/// Reads until the blank line terminating an HTTP request head ("\r\n\r\n")
+/// or until `max_bytes`/EOF. Bodies are not read: the observability
+/// endpoints are all GET.
+Result<std::string> RecvHttpHead(int fd, size_t max_bytes);
+
+/// close(2) ignoring EINTR; safe on -1.
+void CloseFd(int fd);
+
+/// Status::IOError carrying `context` plus strerror(errno).
+Status ErrnoStatus(const char* context);
+
+}  // namespace net
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_NET_H_

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Exercises tools/benchdiff.py end to end: merge two per-bench JSON files
+# into an aggregate, diff identical baselines (must pass), then inject a
+# 20% throughput regression and a matching accuracy drop (must fail).
+# Invoked by ctest with the benchdiff.py path as $1.
+set -eu
+
+BENCHDIFF="$1"
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "python3 not available; skipping benchdiff test"
+  exit 0
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/fig2.json" <<'EOF'
+{"schema":"boltondp-bench-v1","results":[
+ {"figure":"fig2_scalability","name":"memory/ours/m=25000","dataset":"two_gaussians","algo":"ours","epsilon":0,"wall_seconds":0.5,"rows_per_sec":50000,"accuracy":-1}
+]}
+EOF
+cat > "$WORKDIR/fig3.json" <<'EOF'
+{"schema":"boltondp-bench-v1","results":[
+ {"figure":"fig3_accuracy_public","name":"protein/test1/ours/eps=0.1","dataset":"protein","algo":"ours","epsilon":0.1,"wall_seconds":1.2,"rows_per_sec":0,"accuracy":0.72}
+]}
+EOF
+
+# Merge produces one aggregate with both rows.
+python3 "$BENCHDIFF" merge "$WORKDIR/baseline.json" \
+    "$WORKDIR/fig2.json" "$WORKDIR/fig3.json"
+grep -q '"memory/ours/m=25000"' "$WORKDIR/baseline.json"
+grep -q '"protein/test1/ours/eps=0.1"' "$WORKDIR/baseline.json"
+
+# Identical files must compare clean.
+python3 "$BENCHDIFF" diff "$WORKDIR/baseline.json" "$WORKDIR/baseline.json"
+
+# A 20% throughput drop (50000 -> 40000 rows/s) must exit non-zero.
+sed 's/"rows_per_sec":50000/"rows_per_sec":40000/' \
+    "$WORKDIR/baseline.json" > "$WORKDIR/regressed.json"
+if python3 "$BENCHDIFF" diff "$WORKDIR/baseline.json" \
+    "$WORKDIR/regressed.json" > "$WORKDIR/diff.log"; then
+  echo "benchdiff failed to flag a 20% throughput regression" >&2
+  cat "$WORKDIR/diff.log" >&2
+  exit 1
+fi
+grep -q "REGRESSED" "$WORKDIR/diff.log"
+
+# An accuracy collapse must also be flagged.
+sed 's/"accuracy":0.72/"accuracy":0.5/' \
+    "$WORKDIR/baseline.json" > "$WORKDIR/acc.json"
+if python3 "$BENCHDIFF" diff "$WORKDIR/baseline.json" \
+    "$WORKDIR/acc.json" > /dev/null; then
+  echo "benchdiff failed to flag an accuracy drop" >&2
+  exit 1
+fi
+
+# A small (5%) wobble inside the threshold must pass.
+sed 's/"rows_per_sec":50000/"rows_per_sec":47500/' \
+    "$WORKDIR/baseline.json" > "$WORKDIR/wobble.json"
+python3 "$BENCHDIFF" diff "$WORKDIR/baseline.json" "$WORKDIR/wobble.json"
+
+echo "benchdiff test passed"

@@ -65,6 +65,64 @@ grep -q '"kind":"noise_draw"' "$WORKDIR/ledger.jsonl"
 grep -q '"mechanism":"laplace"' "$WORKDIR/ledger.jsonl"
 grep -q '"rng_fingerprint":' "$WORKDIR/ledger.jsonl"
 
+# Live observability: train with --serve-obs on an ephemeral port, scrape
+# /metrics and /healthz while the server lingers, then tell it to quit.
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 4 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/obs.model" \
+    --serve-obs 0 --serve-obs-linger 30000 \
+    > "$WORKDIR/obs.train.log" 2>&1 &
+obs_pid=$!
+
+# The CLI prints the bound port as its first line; poll for it.
+port=""
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/obs.train.log" | head -1)
+  [ -n "$port" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "obs server port line never appeared" >&2
+  cat "$WORKDIR/obs.train.log" >&2
+  exit 1
+fi
+
+# The /metrics assertions below want the end-of-run counter flush, so wait
+# for the linger line that follows training before scraping.
+i=0
+while [ $i -lt 300 ]; do
+  grep -q "obs server lingering" "$WORKDIR/obs.train.log" && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if ! grep -q "obs server lingering" "$WORKDIR/obs.train.log"; then
+  echo "train run never reached the obs linger phase" >&2
+  cat "$WORKDIR/obs.train.log" >&2
+  exit 1
+fi
+
+# Scrape with the CLI's raw-socket client (no curl dependency). The linger
+# keeps the server up even after the short training run finishes.
+"$CLI" scrape --port "$port" --path /metrics > "$WORKDIR/metrics.prom"
+grep -q '^# TYPE gradient_evaluations counter$' "$WORKDIR/metrics.prom"
+grep -q '^gradient_evaluations [1-9]' "$WORKDIR/metrics.prom"
+grep -q 'psgd_pass_seconds_bucket{le="+Inf"}' "$WORKDIR/metrics.prom"
+grep -q '^psgd_pass_seconds_count ' "$WORKDIR/metrics.prom"
+
+"$CLI" scrape --port "$port" --path /healthz > "$WORKDIR/healthz.json"
+grep -q '"status":"ok"' "$WORKDIR/healthz.json"
+grep -q '"noise_draws":' "$WORKDIR/healthz.json"
+
+"$CLI" scrape --port "$port" --path /quitquitquit > /dev/null
+if ! wait "$obs_pid"; then
+  echo "train --serve-obs run failed" >&2
+  cat "$WORKDIR/obs.train.log" >&2
+  exit 1
+fi
+
 # Unknown subcommands and flags fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "unknown subcommand should fail" >&2

@@ -1,0 +1,319 @@
+#include "obs/http_server.h"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/net.h"
+#include "util/strings.h"
+
+namespace bolton {
+namespace obs {
+namespace {
+
+/// Raw-socket HTTP client: one GET, reads to EOF, splits head from body.
+struct HttpResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+HttpResponse Get(int port, const std::string& target) {
+  HttpResponse out;
+  auto fd = net::ConnectTcp(static_cast<uint16_t>(port));
+  if (!fd.ok()) {
+    ADD_FAILURE() << "connect: " << fd.status().ToString();
+    return out;
+  }
+  const std::string request = StrFormat(
+      "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
+      target.c_str());
+  Status sent = net::SendAll(fd.value(), request.data(), request.size());
+  if (!sent.ok()) {
+    ADD_FAILURE() << "send: " << sent.ToString();
+    net::CloseFd(fd.value());
+    return out;
+  }
+  auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024);
+  net::CloseFd(fd.value());
+  if (!response.ok()) {
+    ADD_FAILURE() << "recv: " << response.status().ToString();
+    return out;
+  }
+  const std::string& text = response.value();
+  const size_t split = text.find("\r\n\r\n");
+  out.head = split == std::string::npos ? text : text.substr(0, split);
+  out.body = split == std::string::npos ? "" : text.substr(split + 4);
+  // "HTTP/1.0 200 OK" -> 200.
+  std::vector<std::string> parts = StrSplit(out.head, ' ');
+  if (parts.size() >= 2) {
+    auto code = ParseInt(parts[1]);
+    if (code.ok()) out.status = static_cast<int>(code.value());
+  }
+  return out;
+}
+
+/// One parsed exposition sample: name, optional {label="value"} pairs, and
+/// the sample value.
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Small Prometheus text-exposition parser: skips # comment lines,
+/// validates sample-line shape, returns samples in order. Marks
+/// `*parse_ok` false on any malformed line.
+std::vector<Sample> ParseExposition(const std::string& body, bool* parse_ok) {
+  *parse_ok = true;
+  std::vector<Sample> samples;
+  for (const std::string& line : StrSplit(body, '\n')) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment lines must be "# TYPE <name> <kind>" or "# HELP ...".
+      if (!StartsWith(line, "# TYPE ") && !StartsWith(line, "# HELP ")) {
+        *parse_ok = false;
+      }
+      continue;
+    }
+    Sample sample;
+    std::string rest = line;
+    const size_t brace = rest.find('{');
+    const size_t space = rest.find(' ');
+    if (brace != std::string::npos && brace < space) {
+      const size_t close = rest.find('}');
+      if (close == std::string::npos || close + 2 > rest.size()) {
+        *parse_ok = false;
+        continue;
+      }
+      sample.name = rest.substr(0, brace);
+      // label="value" pairs, comma-separated.
+      for (const std::string& pair :
+           StrSplit(rest.substr(brace + 1, close - brace - 1), ',')) {
+        const size_t eq = pair.find("=\"");
+        if (eq == std::string::npos || pair.back() != '"') {
+          *parse_ok = false;
+          continue;
+        }
+        sample.labels[pair.substr(0, eq)] =
+            pair.substr(eq + 2, pair.size() - eq - 3);
+      }
+      rest = rest.substr(close + 1);
+      if (!rest.empty() && rest[0] == ' ') rest = rest.substr(1);
+    } else {
+      if (space == std::string::npos) {
+        *parse_ok = false;
+        continue;
+      }
+      sample.name = rest.substr(0, space);
+      rest = rest.substr(space + 1);
+    }
+    char* end = nullptr;
+    sample.value = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) *parse_ok = false;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+class ObsHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Default().Reset();
+    PrivacyLedger::Default().Clear();
+    TraceRecorder::Default().Clear();
+    SetAllEnabled(true);
+    auto server = ObsServer::Start(0);  // ephemeral port
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = server.MoveValue();
+    ASSERT_GT(server_->port(), 0);
+  }
+  void TearDown() override {
+    server_.reset();
+    SetAllEnabled(false);
+    MetricsRegistry::Default().Reset();
+    PrivacyLedger::Default().Clear();
+    TraceRecorder::Default().Clear();
+  }
+
+  std::unique_ptr<ObsServer> server_;
+};
+
+TEST_F(ObsHttpTest, MetricsScrapeIsValidExposition) {
+  MetricsRegistry::Default().GetCounter("gradient_evaluations")
+      ->Increment(123);
+  MetricsRegistry::Default().GetGauge("privacy.epsilon_spent")->Set(0.75);
+  Histogram* h = MetricsRegistry::Default().GetHistogram(
+      "psgd.pass_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(10.0);
+
+  HttpResponse response = Get(server_->port(), "/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << response.head;
+
+  bool parse_ok = false;
+  std::vector<Sample> samples = ParseExposition(response.body, &parse_ok);
+  EXPECT_TRUE(parse_ok) << response.body;
+  ASSERT_FALSE(samples.empty());
+
+  std::map<std::string, Sample> by_key;
+  std::vector<double> buckets;  // psgd_pass_seconds cumulative series
+  for (const Sample& s : samples) {
+    std::string key = s.name;
+    for (const auto& [k, v] : s.labels) key += "{" + k + "=" + v + "}";
+    by_key[key] = s;
+    if (s.name == "psgd_pass_seconds_bucket") buckets.push_back(s.value);
+  }
+  EXPECT_EQ(by_key["gradient_evaluations"].value, 123);
+  EXPECT_EQ(by_key["privacy_epsilon_spent"].value, 0.75);
+
+  // Histogram contract: cumulative non-decreasing buckets, +Inf == _count,
+  // _sum matches the observations.
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1);  // <= 0.1
+  EXPECT_EQ(buckets[1], 2);  // <= 1.0 (cumulative)
+  EXPECT_EQ(buckets[2], 3);  // +Inf
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]);
+  }
+  EXPECT_EQ(by_key["psgd_pass_seconds_bucket{le=+Inf}"].value,
+            by_key["psgd_pass_seconds_count"].value);
+  EXPECT_DOUBLE_EQ(by_key["psgd_pass_seconds_sum"].value, 10.55);
+  // Derived quantile gauges ride along.
+  EXPECT_TRUE(by_key.count("psgd_pass_seconds_p50"));
+  EXPECT_TRUE(by_key.count("psgd_pass_seconds_p95"));
+  EXPECT_TRUE(by_key.count("psgd_pass_seconds_p99"));
+}
+
+TEST_F(ObsHttpTest, HealthzReportsLivenessAndSpendTotals) {
+  LedgerEvent charge;
+  charge.kind = "accountant_charge";
+  charge.epsilon = 0.5;
+  PrivacyLedger::Default().Record(charge);
+  LedgerEvent draw;
+  draw.kind = "noise_draw";
+  draw.epsilon = 1.0;
+  PrivacyLedger::Default().Record(draw);
+
+  HttpResponse response = Get(server_->port(), "/healthz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"uptime_ns\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"noise_draws\":1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"charges\":1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"epsilon_charged\":0.5"),
+            std::string::npos);
+}
+
+TEST_F(ObsHttpTest, LedgerTailReturnsLastNEvents) {
+  for (int i = 0; i < 5; ++i) {
+    LedgerEvent event;
+    event.kind = "noise_draw";
+    event.label = StrFormat("draw%d", i);
+    PrivacyLedger::Default().Record(event);
+  }
+  HttpResponse response = Get(server_->port(), "/ledger?tail=2");
+  ASSERT_EQ(response.status, 200);
+  std::vector<std::string> lines;
+  for (const std::string& line : StrSplit(response.body, '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u) << response.body;
+  EXPECT_NE(lines[0].find("\"seq\":4"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"label\":\"draw4\""), std::string::npos);
+
+  // tail=0 means everything.
+  HttpResponse all = Get(server_->port(), "/ledger?tail=0");
+  int count = 0;
+  for (const std::string& line : StrSplit(all.body, '\n')) {
+    if (!line.empty()) ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(ObsHttpTest, SpansEndpointDumpsCompletedSpans) {
+  { ScopedSpan span("http_test.work"); }
+  HttpResponse response = Get(server_->port(), "/spans");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"name\":\"http_test.work\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"start_ns\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"parent\":"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, UnknownPathIs404AndPostIs405) {
+  EXPECT_EQ(Get(server_->port(), "/nope").status, 404);
+
+  auto fd = net::ConnectTcp(static_cast<uint16_t>(server_->port()));
+  ASSERT_TRUE(fd.ok());
+  const std::string request =
+      "POST /metrics HTTP/1.0\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_TRUE(net::SendAll(fd.value(), request.data(), request.size()).ok());
+  auto response = net::RecvAll(fd.value(), 1 << 20);
+  net::CloseFd(fd.value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response.value().find("405"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, QuitEndpointUnblocksWaitForQuit) {
+  EXPECT_FALSE(server_->quit_requested());
+  EXPECT_FALSE(server_->WaitForQuit(10));  // times out, no quit yet
+  EXPECT_EQ(Get(server_->port(), "/quitquitquit").status, 200);
+  EXPECT_TRUE(server_->WaitForQuit(5000));
+  EXPECT_TRUE(server_->quit_requested());
+}
+
+TEST_F(ObsHttpTest, ScrapesWhileRecordingThreadsAreHot) {
+  // The TSan pass leans on this: scrape repeatedly while other threads
+  // hammer the lock-free recording paths.
+  Counter* c = MetricsRegistry::Default().GetCounter("hot.counter");
+  Histogram* h =
+      MetricsRegistry::Default().GetHistogram("hot.hist", {1.0, 2.0});
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    while (!done.load()) {
+      c->Increment();
+      h->Observe(1.5);
+      LedgerEvent event;
+      event.kind = "noise_draw";
+      PrivacyLedger::Default().Record(event);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    HttpResponse response = Get(server_->port(), "/metrics");
+    EXPECT_EQ(response.status, 200);
+  }
+  done.store(true);
+  writer.join();
+  HttpResponse response = Get(server_->port(), "/metrics");
+  EXPECT_NE(response.body.find("hot_counter"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, StopIsIdempotentAndFreesThePort) {
+  const int port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  // The port is free again: a second server can bind it.
+  auto second = ObsServer::Start(port);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value()->port(), port);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bolton

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare and aggregate boltondp bench-result JSON files.
+
+The bench binaries write machine-readable rows with --json-out=FILE
+(schema "boltondp-bench-v1": {"schema": ..., "results": [{figure, name,
+dataset, algo, epsilon, wall_seconds, rows_per_sec, accuracy}, ...]}).
+This tool turns those into a perf trajectory:
+
+  # Merge per-bench outputs into one baseline at the repo root:
+  tools/benchdiff.py merge BENCH_PR3.json fig2.json fig3.json ...
+
+  # Diff a new run against a baseline; exits 1 on >10% throughput
+  # regression (or accuracy loss beyond --accuracy-drop):
+  tools/benchdiff.py diff BENCH_PR3.json BENCH_PR4.json
+  tools/benchdiff.py diff old.json new.json --threshold 0.10
+
+Rows are matched on (figure, name). Throughput regression means
+rows_per_sec fell by more than --threshold relative to the baseline; for
+rows without a throughput (accuracy-only figures), wall_seconds growing by
+more than the threshold counts instead, but only when both sides measured
+a meaningful duration (>= --min-seconds, default 0.05s — sub-50ms rows are
+noise at this scale).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "boltondp-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema '{SCHEMA}', got {doc.get('schema')!r}")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        sys.exit(f"{path}: missing 'results' array")
+    return results
+
+
+def row_key(row):
+    return (row.get("figure", ""), row.get("name", ""))
+
+
+def cmd_merge(args):
+    merged, seen = [], set()
+    for path in args.inputs:
+        for row in load(path):
+            key = row_key(row)
+            if key in seen:
+                print(f"warning: duplicate row {key} from {path}, keeping first",
+                      file=sys.stderr)
+                continue
+            seen.add(key)
+            merged.append(row)
+    with open(args.output, "w") as f:
+        json.dump({"schema": SCHEMA, "results": merged}, f,
+                  indent=1, separators=(",", ":"))
+        f.write("\n")
+    print(f"merged {len(merged)} rows from {len(args.inputs)} file(s) "
+          f"-> {args.output}")
+    return 0
+
+
+def pct(new, old):
+    return 100.0 * (new - old) / old
+
+
+def cmd_diff(args):
+    base = {row_key(r): r for r in load(args.baseline)}
+    new = {row_key(r): r for r in load(args.candidate)}
+    common = sorted(set(base) & set(new))
+    if not common:
+        sys.exit("no common (figure, name) rows between the two files")
+
+    regressions, improvements = [], []
+    for key in common:
+        b, n = base[key], new[key]
+        b_tp, n_tp = b.get("rows_per_sec", 0), n.get("rows_per_sec", 0)
+        if b_tp > 0 and n_tp > 0:
+            if n_tp < b_tp * (1.0 - args.threshold):
+                regressions.append(
+                    f"{key[0]}/{key[1]}: throughput {b_tp:.1f} -> {n_tp:.1f} "
+                    f"rows/s ({pct(n_tp, b_tp):+.1f}%)")
+            elif n_tp > b_tp * (1.0 + args.threshold):
+                improvements.append(
+                    f"{key[0]}/{key[1]}: throughput {pct(n_tp, b_tp):+.1f}%")
+        else:
+            b_s, n_s = b.get("wall_seconds", 0), n.get("wall_seconds", 0)
+            if (b_s >= args.min_seconds and n_s >= args.min_seconds
+                    and n_s > b_s * (1.0 + args.threshold)):
+                regressions.append(
+                    f"{key[0]}/{key[1]}: wall {b_s:.3f}s -> {n_s:.3f}s "
+                    f"({pct(n_s, b_s):+.1f}%)")
+        b_acc, n_acc = b.get("accuracy", -1), n.get("accuracy", -1)
+        if b_acc >= 0 and n_acc >= 0 and n_acc < b_acc - args.accuracy_drop:
+            regressions.append(
+                f"{key[0]}/{key[1]}: accuracy {b_acc:.4f} -> {n_acc:.4f}")
+
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+    print(f"compared {len(common)} rows "
+          f"({len(only_base)} only in baseline, {len(only_new)} only in candidate)")
+    for line in improvements:
+        print(f"  improved:  {line}")
+    for line in regressions:
+        print(f"  REGRESSED: {line}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}%")
+        return 1
+    print("OK: no regressions beyond threshold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="merge bench JSON files into one")
+    merge.add_argument("output")
+    merge.add_argument("inputs", nargs="+")
+    merge.set_defaults(fn=cmd_merge)
+
+    diff = sub.add_parser("diff", help="compare candidate against baseline")
+    diff.add_argument("baseline")
+    diff.add_argument("candidate")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative regression tolerance (default 0.10)")
+    diff.add_argument("--accuracy-drop", type=float, default=0.05,
+                      help="absolute accuracy drop tolerance (default 0.05)")
+    diff.add_argument("--min-seconds", type=float, default=0.05,
+                      help="ignore wall-time rows shorter than this")
+    diff.set_defaults(fn=cmd_diff)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -4,11 +4,13 @@
 //                     --model out.model [--lambda 0.01] [--passes 10] ...
 //   boltondp evaluate --data test.libsvm --model out.model
 //   boltondp datagen  --dataset protein --scale 0.1 --out train.libsvm
+//   boltondp scrape   --port 9464 [--path /metrics]
 //
 // `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
 // generates one of the built-in synthetic stand-ins instead. Multiclass
 // datasets train one-vs-all automatically.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "data/loaders.h"
@@ -19,10 +21,13 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/trainer.h"
+#include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
+#include "util/net.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -94,6 +99,7 @@ int Train(int argc, char** argv) {
   int64_t passes = 10, batch = 50;
   bool metrics = false;
   std::string trace_out, ledger_out;
+  int64_t serve_obs = -1, serve_obs_linger = 0;
 
   FlagParser parser;
   AddDataFlags(&parser, &data_flags);
@@ -111,6 +117,12 @@ int Train(int argc, char** argv) {
                    "write trace spans as JSONL to this file");
   parser.AddString("ledger-out", &ledger_out,
                    "write the privacy-spend ledger as JSONL to this file");
+  parser.AddInt("serve-obs", &serve_obs,
+                "serve live observability HTTP on 127.0.0.1:PORT "
+                "(0 = ephemeral port, -1 = off)");
+  parser.AddInt("serve-obs-linger", &serve_obs_linger,
+                "after training, keep the obs server up this many ms "
+                "(or until GET /quitquitquit)");
   parser.Parse(argc, argv).CheckOK();
   if (parser.help_requested()) {
     parser.PrintHelp("boltondp train");
@@ -120,6 +132,19 @@ int Train(int argc, char** argv) {
   if (metrics) obs::SetMetricsEnabled(true);
   if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
   if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
+
+  std::unique_ptr<obs::ObsServer> obs_server;
+  if (serve_obs >= 0) {
+    // A live endpoint with nothing recording would scrape all zeros, so
+    // --serve-obs implies every pillar.
+    obs::SetAllEnabled(true);
+    auto server = obs::ObsServer::Start(static_cast<int>(serve_obs));
+    server.status().CheckOK();
+    obs_server = server.MoveValue();
+    std::printf("obs server listening on 127.0.0.1:%d\n",
+                obs_server->port());
+    std::fflush(stdout);
+  }
 
   auto data = LoadTrainingData(data_flags);
   data.status().CheckOK();
@@ -175,7 +200,52 @@ int Train(int argc, char** argv) {
     std::printf("wrote %zu ledger events -> %s\n",
                 obs::PrivacyLedger::Default().size(), ledger_out.c_str());
   }
+  if (obs_server != nullptr && serve_obs_linger > 0) {
+    // Keep the scrape surface up past training so an external collector
+    // (or the smoke test) can read the final state; /quitquitquit ends the
+    // linger early.
+    std::printf("obs server lingering up to %lldms (GET /quitquitquit to "
+                "stop)\n",
+                static_cast<long long>(serve_obs_linger));
+    std::fflush(stdout);
+    obs_server->WaitForQuit(serve_obs_linger);
+  }
   return 0;
+}
+
+// Minimal raw-TCP HTTP GET against a local obs server; exists so shell
+// tests can scrape without needing curl in the image. Prints the response
+// body; exits non-zero unless the status line says 200.
+int Scrape(int argc, char** argv) {
+  int64_t port = 0;
+  std::string path = "/metrics";
+  FlagParser parser;
+  parser.AddInt("port", &port, "obs server port on 127.0.0.1");
+  parser.AddString("path", &path, "request path, e.g. /metrics or /healthz");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp scrape");
+    return 0;
+  }
+
+  auto fd = net::ConnectTcp(static_cast<uint16_t>(port));
+  fd.status().CheckOK();
+  const std::string request = StrFormat(
+      "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
+      path.c_str());
+  net::SendAll(fd.value(), request.data(), request.size()).CheckOK();
+  auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024);
+  net::CloseFd(fd.value());
+  response.status().CheckOK();
+
+  const std::string& text = response.value();
+  const size_t body_at = text.find("\r\n\r\n");
+  const std::string head =
+      body_at == std::string::npos ? text : text.substr(0, body_at);
+  std::printf("%s", body_at == std::string::npos
+                        ? text.c_str()
+                        : text.c_str() + body_at + 4);
+  return head.find(" 200 ") == std::string::npos ? 1 : 0;
 }
 
 int Evaluate(int argc, char** argv) {
@@ -239,7 +309,7 @@ int DataGen(int argc, char** argv) {
 int Usage() {
   std::printf(
       "boltondp — bolt-on differentially private SGD analytics\n"
-      "usage: boltondp <train|evaluate|datagen> [flags]\n"
+      "usage: boltondp <train|evaluate|datagen|scrape> [flags]\n"
       "       boltondp <command> --help for per-command flags\n");
   return 1;
 }
@@ -253,6 +323,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return Train(sub_argc, sub_argv);
   if (command == "evaluate") return Evaluate(sub_argc, sub_argv);
   if (command == "datagen") return DataGen(sub_argc, sub_argv);
+  if (command == "scrape") return Scrape(sub_argc, sub_argv);
   return Usage();
 }
 

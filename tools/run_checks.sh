@@ -1,17 +1,20 @@
 #!/bin/sh
 # Full verification sweep: a Debug + address/UB-sanitizer build of the whole
-# tree, the entire ctest suite under the sanitizers, and a schema check of
-# the telemetry JSONL the CLI emits. Wired to `cmake --build build -t check`;
+# tree, the entire ctest suite under the sanitizers, a schema check of the
+# telemetry JSONL the CLI emits, and a ThreadSanitizer pass over the obs
+# suites (the observability HTTP server scrapes the lock-free registries
+# from a real background thread). Wired to `cmake --build build -t check`;
 # also runnable standalone from the repo root:
 #
-#   sh tools/run_checks.sh [build-dir]
+#   sh tools/run_checks.sh [build-dir] [tsan-build-dir]
 #
-# The sanitized build lives in its own directory (default build-asan/) so it
-# never disturbs the primary build.
+# The sanitized builds live in their own directories (default build-asan/
+# and build-tsan/) so they never disturb the primary build.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
+TSAN_BUILD="${2:-$ROOT/build-tsan}"
 
 echo "== configure (Debug, -fsanitize=address,undefined) =="
 cmake -S "$ROOT" -B "$BUILD" \
@@ -48,12 +51,45 @@ awk '
   END { if (NR == 0) { print "empty ledger"; exit 1 } }
 ' "$WORKDIR/ledger.jsonl"
 
-# Every trace line must be a span with an id and a duration.
+# Every trace line must be one JSON span carrying the full schema: name,
+# id, parent link, start time, and duration (the parent/start fields are
+# what the span-tree consumers key on).
 awk '
-  !/^\{"name":"/ || !/"id":[0-9]+/ || !/"dur_ns":[0-9]+/ {
-    print "malformed trace line " NR ": " $0; exit 1
-  }
+  !/^\{"name":"/ || !/\}$/ { bad = 1 }
+  !/"id":[0-9]+/ || !/"parent":[0-9]+/ { bad = 1 }
+  !/"start_ns":[0-9]+/ || !/"dur_ns":[0-9]+/ { bad = 1 }
+  !/"count":[0-9]+/ || !/"thread":[0-9]+/ { bad = 1 }
+  bad { print "malformed trace line " NR ": " $0; exit 1 }
   END { if (NR == 0) { print "empty trace"; exit 1 } }
 ' "$WORKDIR/trace.jsonl"
+
+# The live scrape surface must serve valid exposition during a train run.
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo scs13 \
+    --epsilon 2 --lambda 0.01 --passes 3 --batch 10 \
+    --model "$WORKDIR/model2.txt" \
+    --serve-obs 0 --serve-obs-linger 30000 > "$WORKDIR/obs.log" 2>&1 &
+obs_pid=$!
+i=0
+while [ $i -lt 300 ]; do
+  grep -q "obs server lingering" "$WORKDIR/obs.log" && break
+  i=$((i + 1)); sleep 0.1
+done
+port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$WORKDIR/obs.log" | head -1)
+"$CLI" scrape --port "$port" --path /metrics \
+    | grep -q 'psgd_pass_seconds_bucket{le="+Inf"}'
+"$CLI" scrape --port "$port" --path /quitquitquit > /dev/null
+wait "$obs_pid"
+
+echo "== ThreadSanitizer pass (obs server + lock-free registries) =="
+cmake -S "$ROOT" -B "$TSAN_BUILD" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  > "$TSAN_BUILD.configure.log" 2>&1 || { cat "$TSAN_BUILD.configure.log"; exit 1; }
+cmake --build "$TSAN_BUILD" -j \
+  -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test
+ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+  -R '^obs_(metrics|ledger|export|http)_test$'
 
 echo "all checks passed"
