@@ -38,7 +38,8 @@ int Run(int argc, char** argv) {
         config.passes = 10;
         config.batch_size = 50;
         config.privacy = PrivacyParams{epsilon, 0.0};
-        config.average_models = (variant == 1);
+        config.output = variant == 1 ? OutputMode::kAverageAll
+                                     : OutputMode::kLastIterate;
         auto acc = MeanAccuracy(data.value(), config, repeats,
                                 flags.seed + variant);
         acc.status().CheckOK();

@@ -2,9 +2,10 @@
 
 #include <cmath>
 
-#include "core/sensitivity.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optim/parallel_executor.h"
 #include "optim/schedule.h"
 #include "util/strings.h"
 
@@ -27,16 +28,45 @@ SensitivitySetup SetupFor(const Dataset& data, const BoltOnOptions& options) {
 
 PsgdOptions PsgdOptionsFor(const BoltOnOptions& options, double radius) {
   PsgdOptions psgd;
-  psgd.passes = options.passes;
-  psgd.batch_size = options.batch_size;
+  psgd.run() = options.run();
   psgd.radius = radius;
-  psgd.output = options.output;
   psgd.sampling = SamplingMode::kPermutation;
-  psgd.fresh_permutation_each_pass = options.fresh_permutation_each_pass;
   return psgd;
 }
 
 }  // namespace
+
+Result<double> BoltOnSensitivity(const LossFunction& loss, double eta,
+                                 const SensitivitySetup& setup, size_t shards,
+                                 bool use_corrected_minibatch,
+                                 const PrivacyParams& privacy) {
+  obs::ScopedSpan sensitivity_span("bolton.sensitivity");
+  double sensitivity;
+  if (loss.IsStronglyConvex()) {
+    BOLTON_ASSIGN_OR_RETURN(
+        sensitivity, ShardedStronglyConvexDecreasingStepSensitivity(
+                         loss, setup, shards, use_corrected_minibatch));
+  } else {
+    BOLTON_ASSIGN_OR_RETURN(
+        sensitivity,
+        ShardedConvexConstantStepSensitivity(loss, eta, setup, shards));
+  }
+  if (obs::PrivacyLedger::Default().enabled()) {
+    // Audit trail: the Δ₂ the single output draw below will be calibrated
+    // to, including the shard count the Lemma 10 argument was applied with.
+    obs::LedgerEvent event;
+    event.kind = "calibration";
+    event.mechanism = privacy.IsPure() ? "laplace" : "gaussian";
+    event.label =
+        shards > 1 ? "bolton.sharded_sensitivity" : "bolton.sensitivity";
+    event.epsilon = privacy.epsilon;
+    event.delta = privacy.delta;
+    event.sensitivity = sensitivity;
+    event.shards = shards;
+    obs::PrivacyLedger::Default().Record(std::move(event));
+  }
+  return sensitivity;
+}
 
 Result<PrivateSgdOutput> BoltOnPerturb(const Vector& model, double sensitivity,
                                        const PrivacyParams& privacy,
@@ -82,19 +112,22 @@ Result<PrivateSgdOutput> PrivateConvexPsgd(const Dataset& data,
           : 1.0 / std::sqrt(static_cast<double>(data.size()));
   BOLTON_ASSIGN_OR_RETURN(
       double sensitivity,
-      ConvexConstantStepSensitivity(loss, eta, SetupFor(data, options)));
+      BoltOnSensitivity(loss, eta, SetupFor(data, options), options.shards,
+                        options.use_corrected_minibatch_sensitivity,
+                        options.privacy));
   BOLTON_ASSIGN_OR_RETURN(auto schedule, MakeConstantStep(eta));
 
   Rng psgd_rng = rng->Split();
   BOLTON_ASSIGN_OR_RETURN(
-      PsgdOutput run,
-      RunPsgd(data, loss, *schedule, PsgdOptionsFor(options, loss.radius()),
-              &psgd_rng));
+      ShardedPsgdOutput run,
+      RunShardedPsgd(data, loss, *schedule,
+                     PsgdOptionsFor(options, loss.radius()), &psgd_rng));
 
   BOLTON_ASSIGN_OR_RETURN(
       PrivateSgdOutput out,
       BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
   out.stats = run.stats;
+  out.shards = run.shards;
   return out;
 }
 
@@ -116,11 +149,10 @@ Result<PrivateSgdOutput> PrivateStronglyConvexPsgd(const Dataset& data,
 
   BOLTON_ASSIGN_OR_RETURN(
       double sensitivity,
-      options.use_corrected_minibatch_sensitivity
-          ? StronglyConvexDecreasingStepSensitivityCorrected(
-                loss, SetupFor(data, options))
-          : StronglyConvexDecreasingStepSensitivity(
-                loss, SetupFor(data, options)));
+      BoltOnSensitivity(loss, /*eta=*/0.0, SetupFor(data, options),
+                        options.shards,
+                        options.use_corrected_minibatch_sensitivity,
+                        options.privacy));
   // Algorithm 2, line 2: η_t = min(1/β, 1/(γt)).
   BOLTON_ASSIGN_OR_RETURN(
       auto schedule,
@@ -128,14 +160,15 @@ Result<PrivateSgdOutput> PrivateStronglyConvexPsgd(const Dataset& data,
 
   Rng psgd_rng = rng->Split();
   BOLTON_ASSIGN_OR_RETURN(
-      PsgdOutput run,
-      RunPsgd(data, loss, *schedule, PsgdOptionsFor(options, loss.radius()),
-              &psgd_rng));
+      ShardedPsgdOutput run,
+      RunShardedPsgd(data, loss, *schedule,
+                     PsgdOptionsFor(options, loss.radius()), &psgd_rng));
 
   BOLTON_ASSIGN_OR_RETURN(
       PrivateSgdOutput out,
       BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
   out.stats = run.stats;
+  out.shards = run.shards;
   return out;
 }
 

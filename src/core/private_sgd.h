@@ -2,6 +2,7 @@
 #define BOLTON_CORE_PRIVATE_SGD_H_
 
 #include "core/privacy.h"
+#include "core/sensitivity.h"
 #include "data/dataset.h"
 #include "linalg/vector.h"
 #include "optim/loss.h"
@@ -12,21 +13,18 @@
 
 namespace bolton {
 
-/// Options shared by the bolt-on private PSGD algorithms.
-struct BoltOnOptions {
+/// Options shared by the bolt-on private PSGD algorithms. Embeds the
+/// uniform SgdRunSpec (passes k, batch size b, output mode, fresh
+/// permutation, shards) with the bolt-on defaults k = 10, b = 50; shards
+/// > 1 runs the shard-parallel executor with noise calibrated to the max
+/// per-shard sensitivity (Lemma 10, core/sensitivity.h).
+struct BoltOnOptions : SgdRunSpec {
+  BoltOnOptions() : SgdRunSpec(/*passes=*/10, /*batch_size=*/50) {}
+
   /// Privacy budget. delta == 0 selects the spherical-Laplace mechanism
   /// (pure ε-DP, Theorems 4/5); delta > 0 selects the Gaussian mechanism
   /// ((ε, δ)-DP, Theorems 6/7) and then requires epsilon < 1.
   PrivacyParams privacy;
-  /// Number of passes k over the data.
-  size_t passes = 10;
-  /// Mini-batch size b (divides the sensitivity, §3.2.3).
-  size_t batch_size = 50;
-  /// Return the last iterate or the uniform iterate average (Lemma 10
-  /// guarantees averaging never increases sensitivity).
-  OutputMode output = OutputMode::kLastIterate;
-  /// Resample the permutation at each pass (allowed verbatim by §3.2.3).
-  bool fresh_permutation_each_pass = false;
   /// Constant step size η for Algorithm 1. 0 selects the paper's default
   /// η = 1/√m (Table 4). Ignored by Algorithm 2.
   double constant_step = 0.0;
@@ -56,7 +54,21 @@ struct PrivateSgdOutput {
   double noise_norm = 0.0;
   /// Engine counters from the underlying black-box run.
   PsgdStats stats;
+  /// Shards the black box ran with (1 = serial).
+  size_t shards = 1;
 };
+
+/// The Δ₂ the bolt-on algorithms calibrate to, shared by the Dataset path
+/// (PrivatePsgd) and the engine path (RunBoltOnPrivateDriver) so the
+/// convex/strongly-convex × serial/sharded × paper/corrected dispatch lives
+/// in exactly one place. `eta` is Algorithm 1's constant step (ignored when
+/// the loss is strongly convex). When the ledger is enabled, records one
+/// "calibration" event ("bolton.sensitivity" / "bolton.sharded_sensitivity")
+/// carrying the (ε, δ, Δ₂, shards) accounting of the run.
+Result<double> BoltOnSensitivity(const LossFunction& loss, double eta,
+                                 const SensitivitySetup& setup, size_t shards,
+                                 bool use_corrected_minibatch,
+                                 const PrivacyParams& privacy);
 
 /// Algorithm 1 — Private Convex Permutation-based SGD.
 ///

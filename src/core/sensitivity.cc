@@ -216,6 +216,51 @@ Result<double> ConvexSqrtStepSensitivityCorrected(
   return (4.0 * L / (b * beta)) * sum;
 }
 
+Result<size_t> MinShardSize(size_t num_examples, size_t shards) {
+  if (shards < 1) return Status::InvalidArgument("shards must be >= 1");
+  if (shards > num_examples) {
+    return Status::InvalidArgument(
+        StrFormat("shards %zu exceeds num_examples %zu", shards,
+                  num_examples));
+  }
+  return num_examples / shards;
+}
+
+Result<double> ShardedMaxSensitivity(
+    const SensitivitySetup& setup, size_t shards,
+    const std::function<Result<double>(const SensitivitySetup&)>&
+        serial_bound) {
+  BOLTON_RETURN_IF_ERROR(ValidateSetup(setup));
+  if (!serial_bound) return Status::InvalidArgument("null serial bound");
+  BOLTON_ASSIGN_OR_RETURN(size_t min_shard,
+                          MinShardSize(setup.num_examples, shards));
+  SensitivitySetup shard_setup = setup;
+  shard_setup.num_examples = min_shard;
+  return serial_bound(shard_setup);
+}
+
+Result<double> ShardedConvexConstantStepSensitivity(
+    const LossFunction& loss, double eta, const SensitivitySetup& setup,
+    size_t shards) {
+  return ShardedMaxSensitivity(
+      setup, shards, [&](const SensitivitySetup& shard_setup) {
+        return ConvexConstantStepSensitivity(loss, eta, shard_setup);
+      });
+}
+
+Result<double> ShardedStronglyConvexDecreasingStepSensitivity(
+    const LossFunction& loss, const SensitivitySetup& setup, size_t shards,
+    bool use_corrected_minibatch) {
+  return ShardedMaxSensitivity(
+      setup, shards, [&](const SensitivitySetup& shard_setup) {
+        return use_corrected_minibatch
+                   ? StronglyConvexDecreasingStepSensitivityCorrected(
+                         loss, shard_setup)
+                   : StronglyConvexDecreasingStepSensitivity(loss,
+                                                             shard_setup);
+      });
+}
+
 Result<double> SimulateDeltaT(const Dataset& data, size_t differing_index,
                               const Example& replacement,
                               const LossFunction& loss,

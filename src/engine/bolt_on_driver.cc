@@ -1,12 +1,40 @@
 #include "engine/bolt_on_driver.h"
 
 #include <cmath>
+#include <utility>
 
 #include "core/sensitivity.h"
 #include "obs/trace.h"
+#include "optim/parallel_executor.h"
 #include "optim/schedule.h"
 
 namespace bolton {
+
+namespace {
+
+/// Shard-parallel variant of the driver run: materializes the table into a
+/// Dataset and hands it to RunShardedPsgd, so each shard runs the identical
+/// serial black box over its slice. Epoch-level instrumentation
+/// (epoch_seconds, convergence testing) is per-shard here and not surfaced,
+/// so the driver reports exactly options.passes epochs.
+Result<DriverOutput> RunShardedDriver(Table* table, const LossFunction& loss,
+                                      const StepSizeSchedule& schedule,
+                                      const BoltOnOptions& options, Rng* rng) {
+  BOLTON_ASSIGN_OR_RETURN(Dataset data, table->ToDataset());
+  PsgdOptions psgd;
+  psgd.run() = options.run();
+  psgd.radius = loss.radius();
+  psgd.sampling = SamplingMode::kPermutation;
+  BOLTON_ASSIGN_OR_RETURN(ShardedPsgdOutput run,
+                          RunShardedPsgd(data, loss, schedule, psgd, rng));
+  DriverOutput out;
+  out.model = std::move(run.model);
+  out.epochs_run = options.passes;
+  out.stats = run.stats;
+  return out;
+}
+
+}  // namespace
 
 Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
                                                   const LossFunction& loss,
@@ -28,7 +56,12 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
   double eta = 0.0;
   if (loss.IsStronglyConvex()) {
     // Algorithm 2 on the engine: k-oblivious sensitivity allows the
-    // convergence test.
+    // convergence test (serial path only — shards run fixed epochs).
+    if (tolerance > 0.0 && options.shards > 1) {
+      return Status::FailedPrecondition(
+          "sharded bolt-on training runs a fixed number of epochs per "
+          "shard; convergence-based stopping is serial-only (shards=1)");
+    }
     driver_options.tolerance = tolerance;
     BOLTON_ASSIGN_OR_RETURN(
         schedule,
@@ -48,10 +81,16 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
     BOLTON_ASSIGN_OR_RETURN(schedule, MakeConstantStep(eta));
   }
 
-  // --- The unmodified black box. ---
-  BOLTON_ASSIGN_OR_RETURN(
-      DriverOutput run,
-      RunSgdDriver(table, loss, *schedule, driver_options, rng));
+  // --- The unmodified black box: the serial engine driver, or s parallel
+  // copies of it over disjoint shards (Lemma 10). ---
+  DriverOutput run;
+  if (options.shards > 1) {
+    BOLTON_ASSIGN_OR_RETURN(
+        run, RunShardedDriver(table, loss, *schedule, options, rng));
+  } else {
+    BOLTON_ASSIGN_OR_RETURN(
+        run, RunSgdDriver(table, loss, *schedule, driver_options, rng));
+  }
 
   // --- The bolt-on: compute Δ₂ for the run that actually happened, draw
   // one noise vector, add it in the front end. ---
@@ -59,20 +98,11 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
   setup.passes = run.epochs_run;
   setup.batch_size = options.batch_size;
   setup.num_examples = m;
-  double sensitivity;
-  {
-    obs::ScopedSpan sensitivity_span("bolton.sensitivity");
-    if (loss.IsStronglyConvex()) {
-      BOLTON_ASSIGN_OR_RETURN(
-          sensitivity,
-          options.use_corrected_minibatch_sensitivity
-              ? StronglyConvexDecreasingStepSensitivityCorrected(loss, setup)
-              : StronglyConvexDecreasingStepSensitivity(loss, setup));
-    } else {
-      BOLTON_ASSIGN_OR_RETURN(
-          sensitivity, ConvexConstantStepSensitivity(loss, eta, setup));
-    }
-  }
+  BOLTON_ASSIGN_OR_RETURN(
+      double sensitivity,
+      BoltOnSensitivity(loss, eta, setup, options.shards,
+                        options.use_corrected_minibatch_sensitivity,
+                        options.privacy));
 
   BoltOnDriverOutput out;
   {
@@ -82,6 +112,7 @@ Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
         BoltOnPerturb(run.model, sensitivity, options.privacy, rng));
   }
   out.private_output.stats = run.stats;
+  out.private_output.shards = options.shards;
   out.driver = std::move(run);
   return out;
 }

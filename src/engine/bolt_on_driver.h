@@ -27,6 +27,11 @@ struct BoltOnDriverOutput {
 /// k-oblivious (§4.3 "the number of passes k is oblivious to private
 /// SGD") — `tolerance` MAY be set to stop early on convergence with
 /// options.passes as the cap K.
+///
+/// options.shards > 1 runs s copies of the unchanged black box over
+/// disjoint shards of the table and averages them (Lemma 10), with the
+/// noise calibrated to the max per-shard sensitivity; tolerance must then
+/// be 0 (each shard runs fixed epochs).
 Result<BoltOnDriverOutput> RunBoltOnPrivateDriver(Table* table,
                                                   const LossFunction& loss,
                                                   const BoltOnOptions& options,

@@ -1,15 +1,7 @@
 #include "ml/trainer.h"
 
-#include <cmath>
 #include <limits>
-
-#include "core/bst14.h"
-#include "core/objective_perturbation.h"
-#include "core/private_sgd.h"
-#include "core/scs13.h"
-#include "optim/psgd.h"
-#include "optim/schedule.h"
-#include "util/strings.h"
+#include <utility>
 
 namespace bolton {
 
@@ -17,58 +9,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-Result<Vector> TrainNoiseless(const Dataset& train, const LossFunction& loss,
-                              const TrainerConfig& config, Rng* rng) {
-  std::unique_ptr<StepSizeSchedule> schedule;
-  if (loss.IsStronglyConvex()) {
-    // Table 4: noiseless strongly convex uses 1/(γt), no 1/β cap.
-    BOLTON_ASSIGN_OR_RETURN(
-        schedule, MakeInverseTimeStep(loss.strong_convexity(), kInf));
-  } else {
-    BOLTON_ASSIGN_OR_RETURN(
-        schedule,
-        MakeConstantStep(1.0 / std::sqrt(static_cast<double>(train.size()))));
-  }
-  PsgdOptions options;
-  options.passes = config.passes;
-  options.batch_size = config.batch_size;
-  options.radius = loss.radius();
-  options.output = config.average_models ? OutputMode::kAverageAll
-                                         : OutputMode::kLastIterate;
-  BOLTON_ASSIGN_OR_RETURN(PsgdOutput run,
-                          RunPsgd(train, loss, *schedule, options, rng));
-  return std::move(run.model);
-}
-
 }  // namespace
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kNoiseless:
-      return "noiseless";
-    case Algorithm::kBoltOn:
-      return "ours";
-    case Algorithm::kScs13:
-      return "scs13";
-    case Algorithm::kBst14:
-      return "bst14";
-    case Algorithm::kObjective:
-      return "objective";
-  }
-  return "unknown";
-}
-
-Result<Algorithm> ParseAlgorithm(const std::string& name) {
-  if (name == "noiseless") return Algorithm::kNoiseless;
-  if (name == "ours" || name == "bolton" || name == "bolt-on") {
-    return Algorithm::kBoltOn;
-  }
-  if (name == "scs13") return Algorithm::kScs13;
-  if (name == "bst14") return Algorithm::kBst14;
-  if (name == "objective") return Algorithm::kObjective;
-  return Status::NotFound("unknown algorithm '" + name +
-                          "' (noiseless|ours|scs13|bst14|objective)");
-}
 
 Result<std::unique_ptr<LossFunction>> MakeLossForConfig(
     const TrainerConfig& config) {
@@ -83,70 +24,22 @@ Result<std::unique_ptr<LossFunction>> MakeLossForConfig(
   return Status::Internal("unknown model kind");
 }
 
+SolverSpec SolverSpecForConfig(const TrainerConfig& config) {
+  SolverSpec spec;
+  spec.run() = config.run();
+  spec.privacy = config.privacy;
+  spec.bst14_convex_radius = config.bst14_convex_radius;
+  return spec;
+}
+
 Result<Vector> TrainBinary(const Dataset& train, const TrainerConfig& config,
                            Rng* rng) {
   if (train.empty()) return Status::InvalidArgument("empty training set");
   BOLTON_ASSIGN_OR_RETURN(auto loss, MakeLossForConfig(config));
-
-  switch (config.algorithm) {
-    case Algorithm::kNoiseless:
-      return TrainNoiseless(train, *loss, config, rng);
-
-    case Algorithm::kBoltOn: {
-      BoltOnOptions options;
-      options.privacy = config.privacy;
-      options.passes = config.passes;
-      options.batch_size = config.batch_size;
-      options.output = config.average_models ? OutputMode::kAverageAll
-                                             : OutputMode::kLastIterate;
-      BOLTON_ASSIGN_OR_RETURN(PrivateSgdOutput out,
-                              PrivatePsgd(train, *loss, options, rng));
-      return std::move(out.model);
-    }
-
-    case Algorithm::kScs13: {
-      Scs13Options options;
-      options.privacy = config.privacy;
-      options.passes = config.passes;
-      options.batch_size = config.batch_size;
-      BOLTON_ASSIGN_OR_RETURN(Scs13Output out,
-                              RunScs13(train, *loss, options, rng));
-      return std::move(out.model);
-    }
-
-    case Algorithm::kObjective: {
-      if (config.model != ModelKind::kLogistic) {
-        return Status::FailedPrecondition(
-            "objective perturbation is implemented for logistic loss only");
-      }
-      if (!config.privacy.IsPure()) {
-        return Status::FailedPrecondition(
-            "objective perturbation provides pure eps-DP only");
-      }
-      ObjectivePerturbationOptions options;
-      options.epsilon = config.privacy.epsilon;
-      options.lambda = config.lambda;
-      options.passes = config.passes;
-      options.batch_size = config.batch_size;
-      BOLTON_ASSIGN_OR_RETURN(ObjectivePerturbationOutput out,
-                              RunObjectivePerturbation(train, options, rng));
-      return std::move(out.model);
-    }
-
-    case Algorithm::kBst14: {
-      Bst14Options options;
-      options.privacy = config.privacy;
-      options.passes = config.passes;
-      options.batch_size = config.batch_size;
-      if (!loss->IsStronglyConvex()) {
-        options.radius = config.bst14_convex_radius;
-      }
-      BOLTON_ASSIGN_OR_RETURN(Bst14Output out,
-                              RunBst14(train, *loss, options, rng));
-      return std::move(out.model);
-    }
-  }
-  return Status::Internal("unknown algorithm");
+  BOLTON_ASSIGN_OR_RETURN(
+      SolverOutput out, RunPrivateSolver(config.algorithm, train, *loss,
+                                         SolverSpecForConfig(config), rng));
+  return std::move(out.model);
 }
 
 Result<MulticlassModel> TrainMulticlass(const Dataset& train,

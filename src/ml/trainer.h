@@ -6,28 +6,32 @@
 
 #include "core/multiclass.h"
 #include "core/privacy.h"
+#include "core/solver.h"
 #include "data/dataset.h"
 #include "optim/loss.h"
+#include "optim/sgd_spec.h"
 #include "random/rng.h"
 #include "util/result.h"
 
 namespace bolton {
 
-/// The four training algorithms the paper's figures compare, plus the
-/// classic objective-perturbation alternative (§5's [13]) as an extra
-/// baseline. kObjective supports pure ε-DP logistic regression only.
-enum class Algorithm { kNoiseless, kBoltOn, kScs13, kBst14, kObjective };
-
-const char* AlgorithmName(Algorithm algorithm);
-Result<Algorithm> ParseAlgorithm(const std::string& name);
+// Algorithm, AlgorithmName, and ParseAlgorithm live in core/solver.h (the
+// unified dispatch layer); this header re-exports them for the existing
+// trainer call sites.
 
 /// The two model families evaluated (§4.3 and Appendix B).
 enum class ModelKind { kLogistic, kHuberSvm };
 
 /// One experiment's training configuration — the uniform surface every
-/// bench and example drives. The Table 4 step-size conventions are applied
-/// automatically per (algorithm, convexity).
-struct TrainerConfig {
+/// bench and example drives. Embeds the shared SgdRunSpec (passes, batch
+/// size, output mode, fresh permutation, shards) with the training defaults
+/// k = 10, b = 50; set `output = OutputMode::kAverageAll` to average all
+/// iterates, and `shards > 1` to run the noiseless / bolt-on algorithms on
+/// the shard-parallel executor. The Table 4 step-size conventions are
+/// applied automatically per (algorithm, convexity).
+struct TrainerConfig : SgdRunSpec {
+  TrainerConfig() : SgdRunSpec(/*passes=*/10, /*batch_size=*/50) {}
+
   Algorithm algorithm = Algorithm::kNoiseless;
   ModelKind model = ModelKind::kLogistic;
   /// λ = 0 selects the convex tests (plain loss, unconstrained);
@@ -38,11 +42,6 @@ struct TrainerConfig {
   /// Ignored for kNoiseless. delta == 0 ⇒ pure ε-DP (not supported by
   /// BST14); delta > 0 ⇒ (ε, δ)-DP.
   PrivacyParams privacy;
-  size_t passes = 10;
-  size_t batch_size = 50;
-  /// Average all iterates instead of returning the last (bolt-on and
-  /// noiseless runs only).
-  bool average_models = false;
   /// Hypothesis radius handed to BST14 in the convex case, where the loss
   /// itself is unconstrained but Algorithm 4 needs a finite R.
   double bst14_convex_radius = 10.0;
@@ -56,8 +55,13 @@ struct TrainerConfig {
 Result<std::unique_ptr<LossFunction>> MakeLossForConfig(
     const TrainerConfig& config);
 
-/// Trains one ±1 binary linear model per the config. Step sizes follow
-/// Table 4:
+/// The SolverSpec a config denotes — the conversion TrainBinary uses to
+/// delegate to RunPrivateSolver. Exposed so callers that already hold the
+/// loss can drive the core dispatch directly.
+SolverSpec SolverSpecForConfig(const TrainerConfig& config);
+
+/// Trains one ±1 binary linear model per the config: builds the loss and
+/// delegates to core/RunPrivateSolver. Step sizes follow Table 4:
 ///   noiseless: convex 1/√m, strongly convex 1/(γt);
 ///   bolt-on:   convex 1/√m, strongly convex min(1/β, 1/(γt));
 ///   SCS13:     1/√t;

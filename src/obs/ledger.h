@@ -46,6 +46,9 @@ struct LedgerEvent {
   uint64_t dim = 0;
   /// 1-based update index for per-iteration draws; 0 otherwise.
   uint64_t step = 0;
+  /// Shard count a sharded-run calibration was computed for (Lemma 10
+  /// model averaging); 1 for serial calibrations, 0 when not applicable.
+  uint64_t shards = 0;
   /// Rng::StateFingerprint() captured immediately before the draw, so a
   /// dump identifies which generator state produced each noise vector.
   uint64_t rng_fingerprint = 0;

@@ -1,0 +1,175 @@
+#include "optim/parallel_executor.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "random/permutation.h"
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+Status ValidateShardedOptions(const Dataset& data, const PsgdOptions& options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.shards > data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shards %zu exceeds training size %zu", options.shards,
+                  data.size()));
+  }
+  if (options.sampling != SamplingMode::kPermutation) {
+    return Status::InvalidArgument(
+        "sharded execution requires permutation sampling (the bolt-on "
+        "analysis is stated for PSGD)");
+  }
+  const size_t min_shard = data.size() / options.shards;
+  if (options.batch_size > min_shard) {
+    return Status::InvalidArgument(
+        StrFormat("batch_size %zu exceeds the smallest shard size %zu "
+                  "(m=%zu, shards=%zu)",
+                  options.batch_size, min_shard, data.size(),
+                  options.shards));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t ShardSeed(uint64_t seed_base, size_t shard) {
+  // Golden-ratio stride; Rng's splitmix64 seeding decorrelates the linear
+  // sequence into independent streams.
+  return seed_base + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(shard) + 1);
+}
+
+Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
+                                         const LossFunction& loss,
+                                         const StepSizeSchedule& schedule,
+                                         const PsgdOptions& options, Rng* rng,
+                                         size_t max_threads) {
+  BOLTON_RETURN_IF_ERROR(ValidateShardedOptions(data, options));
+
+  if (options.shards == 1) {
+    // Bit-identical serial path: same code, same rng consumption.
+    BOLTON_ASSIGN_OR_RETURN(PsgdOutput run,
+                            RunPsgd(data, loss, schedule, options, rng));
+    ShardedPsgdOutput out;
+    out.model = std::move(run.model);
+    out.stats = run.stats;
+    out.shards = 1;
+    out.shard_sizes = {data.size()};
+    return out;
+  }
+
+  obs::ScopedSpan run_span("psgd.sharded_run");
+
+  const size_t m = data.size();
+  const size_t s = options.shards;
+
+  // Partition permutation and the per-shard seed base are drawn from the
+  // parent stream BEFORE any worker starts, so results depend only on the
+  // seed and shard count — never on thread count or scheduling.
+  std::vector<size_t> order;
+  {
+    obs::ScopedSpan shuffle_span("psgd.shard_partition");
+    order = RandomPermutation(m, rng);
+  }
+  const uint64_t seed_base = rng->Next();
+
+  // Balanced contiguous split of the permutation: the first m mod s shards
+  // take ⌈m/s⌉ indices, the rest ⌊m/s⌋.
+  std::vector<Dataset> shard_data;
+  std::vector<size_t> shard_sizes;
+  shard_data.reserve(s);
+  shard_sizes.reserve(s);
+  {
+    obs::ScopedSpan split_span("psgd.shard_split");
+    const size_t base = m / s;
+    const size_t remainder = m % s;
+    size_t offset = 0;
+    for (size_t j = 0; j < s; ++j) {
+      const size_t size_j = base + (j < remainder ? 1 : 0);
+      std::vector<size_t> indices(order.begin() + offset,
+                                  order.begin() + offset + size_j);
+      shard_data.push_back(data.Subset(indices));
+      shard_sizes.push_back(size_j);
+      offset += size_j;
+    }
+  }
+
+  PsgdOptions shard_options = options;
+  shard_options.shards = 1;
+
+  // Metrics are registered up front so workers only touch the lock-free
+  // counters.
+  obs::Counter* shard_runs =
+      obs::MetricsRegistry::Default().GetCounter("psgd.shard_runs");
+  obs::Counter* shard_failures =
+      obs::MetricsRegistry::Default().GetCounter("psgd.shard_failures");
+  obs::Gauge* shard_count =
+      obs::MetricsRegistry::Default().GetGauge("psgd.shard_count");
+  obs::Histogram* shard_seconds = obs::MetricsRegistry::Default().GetHistogram(
+      "psgd.shard_seconds", obs::LatencySecondsBuckets());
+  shard_count->Set(static_cast<double>(s));
+
+  std::vector<Result<PsgdOutput>> results(s, Result<PsgdOutput>(PsgdOutput()));
+  auto run_shard = [&](size_t j) {
+    obs::ScopedSpan shard_span("psgd.shard");
+    const uint64_t start_ns = obs::MonotonicNanos();
+    Rng shard_rng(ShardSeed(seed_base, j));
+    results[j] =
+        RunPsgd(shard_data[j], loss, schedule, shard_options, &shard_rng);
+    shard_seconds->Observe(
+        static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9);
+    shard_runs->Increment();
+    if (!results[j].ok()) shard_failures->Increment();
+  };
+
+  const size_t worker_count =
+      max_threads == 0 ? s : std::min(max_threads, s);
+  if (worker_count <= 1) {
+    for (size_t j = 0; j < s; ++j) run_shard(j);
+  } else {
+    // Static round-robin: shard j runs on worker j % worker_count, so the
+    // assignment (though not the result — shards are independent) is also
+    // deterministic.
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    for (size_t w = 0; w < worker_count; ++w) {
+      workers.emplace_back([&, w]() {
+        for (size_t j = w; j < s; j += worker_count) run_shard(j);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  for (size_t j = 0; j < s; ++j) {
+    if (!results[j].ok()) {
+      return results[j].status().WithContext(
+          StrFormat("psgd shard %zu of %zu", j, s));
+    }
+  }
+
+  // Uniform model average in shard order (Lemma 10). Fixed order keeps the
+  // floating-point sum, and therefore the result, thread-count independent.
+  ShardedPsgdOutput out;
+  out.shards = s;
+  out.shard_sizes = std::move(shard_sizes);
+  Vector average(data.dim());
+  for (size_t j = 0; j < s; ++j) {
+    average += results[j].value().model;
+    out.stats.gradient_evaluations +=
+        results[j].value().stats.gradient_evaluations;
+    out.stats.updates += results[j].value().stats.updates;
+    out.stats.noise_samples += results[j].value().stats.noise_samples;
+  }
+  average *= 1.0 / static_cast<double>(s);
+  out.model = std::move(average);
+  return out;
+}
+
+}  // namespace bolton

@@ -1,0 +1,74 @@
+#ifndef BOLTON_OPTIM_PARALLEL_EXECUTOR_H_
+#define BOLTON_OPTIM_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "optim/loss.h"
+#include "optim/psgd.h"
+#include "optim/schedule.h"
+#include "random/rng.h"
+#include "util/result.h"
+
+namespace bolton {
+
+/// Result of a sharded (or, at shards = 1, serial) PSGD run.
+struct ShardedPsgdOutput {
+  /// The released hypothesis: at shards = 1 the serial RunPsgd model,
+  /// otherwise the uniform average (1/s)·Σ_j w_j of the shard models.
+  Vector model;
+  /// Engine counters summed across all shards.
+  PsgdStats stats;
+  /// Shards actually run (1 for the serial fallback).
+  size_t shards = 1;
+  /// |S_j| per shard, in shard order. The balanced contiguous partition:
+  /// the first m mod s shards get ⌈m/s⌉ examples, the rest ⌊m/s⌋.
+  std::vector<size_t> shard_sizes;
+};
+
+/// Deterministic per-shard RNG seed: counter-based (seed_base + shard
+/// index through the golden-ratio increment, decorrelated by the Rng's
+/// splitmix64 seeding), so shard streams depend only on (parent stream,
+/// shard index) — never on worker scheduling order.
+uint64_t ShardSeed(uint64_t seed_base, size_t shard);
+
+/// Shard-parallel black-box PSGD (paper §3.2.3, Lemma 10):
+///
+///   1. draw one permutation τ of [m] from `rng` and partition it into
+///      `options.shards` disjoint contiguous shards (shared-nothing);
+///   2. run black-box RunPsgd per shard on its own worker thread, each with
+///      an independent counter-seeded RNG stream (ShardSeed);
+///   3. release the uniform average of the shard models.
+///
+/// Privacy-wise this is exactly the hook the bolt-on analysis allows: each
+/// shard is an independent PSGD run over its own m_j ≈ m/s examples, so
+/// Corollary 1 / Lemma 8 bound each shard model's sensitivity with m
+/// replaced by m_j, a neighboring dataset perturbs exactly one shard, and
+/// Lemma 10's averaging argument bounds the released average by the max
+/// per-shard sensitivity (see core/sensitivity.h, ShardedMaxSensitivity).
+///
+/// Contracts:
+///  * shards = 1 delegates to RunPsgd — bit-identical to the serial path,
+///    consuming `rng` identically;
+///  * for a fixed seed and shard count the result is bit-identical at ANY
+///    `max_threads` (partition and seeds are drawn before workers start,
+///    shard outputs are averaged in shard order);
+///  * a failing shard surfaces through the returned Result<> (no abort);
+///    the first failing shard's status is returned with shard context.
+///
+/// `max_threads` caps the worker pool (0 = one thread per shard); shards
+/// are assigned round-robin. Requires permutation sampling and no
+/// per-update noise source (sharding is for the black-box algorithms; the
+/// white-box baselines compose their budgets per update and have no
+/// shard-level analysis here).
+Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
+                                         const LossFunction& loss,
+                                         const StepSizeSchedule& schedule,
+                                         const PsgdOptions& options, Rng* rng,
+                                         size_t max_threads = 0);
+
+}  // namespace bolton
+
+#endif  // BOLTON_OPTIM_PARALLEL_EXECUTOR_H_

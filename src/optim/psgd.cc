@@ -25,6 +25,11 @@ Status ValidateOptions(const Dataset& data, const PsgdOptions& options) {
   if (options.radius <= 0.0) {
     return Status::InvalidArgument("radius must be > 0 (may be +inf)");
   }
+  if (options.shards != 1) {
+    return Status::InvalidArgument(
+        "RunPsgd is the serial black box (shards must be 1); use "
+        "RunShardedPsgd for shard-parallel execution");
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "linalg/vector.h"
 #include "optim/loss.h"
 #include "optim/schedule.h"
+#include "optim/sgd_spec.h"
 #include "random/rng.h"
 #include "util/result.h"
 
@@ -22,15 +23,6 @@ enum class SamplingMode {
   kWithReplacement,
 };
 
-/// Which hypothesis the run returns.
-enum class OutputMode {
-  /// The final iterate w_T.
-  kLastIterate,
-  /// The uniform average (1/T)·Σ w_t of all iterates (paper §3.2.3 "Model
-  /// Averaging"; sensitivity is no worse than the last iterate's).
-  kAverageAll,
-};
-
 /// White-box extension point: per-update noise injected into the (averaged)
 /// mini-batch gradient before the step is applied. The bolt-on algorithms
 /// never use this; SCS13 and BST14 are implemented through it, mirroring how
@@ -43,21 +35,14 @@ class GradientNoiseSource {
   virtual Result<Vector> Sample(size_t step, size_t dim, Rng* rng) = 0;
 };
 
-/// Options for a PSGD run.
-struct PsgdOptions {
-  /// Number of passes over the data (k).
-  size_t passes = 1;
-  /// Mini-batch size (b). In permutation mode each pass is partitioned into
-  /// ⌈m/b⌉ consecutive chunks of the shuffled order.
-  size_t batch_size = 1;
+/// Options for a PSGD run: the shared run spec (passes, batch size, output
+/// mode, fresh permutation, shards) plus the fields only the optimizer
+/// layer consumes.
+struct PsgdOptions : SgdRunSpec {
   /// Radius R of the hypothesis ball; each update is projected onto it
   /// (rule (7)). +infinity disables projection (unconstrained).
   double radius = std::numeric_limits<double>::infinity();
-  OutputMode output = OutputMode::kLastIterate;
   SamplingMode sampling = SamplingMode::kPermutation;
-  /// Sample a fresh permutation at every pass (analysis is unchanged,
-  /// §3.2.3 "Fresh Permutation at Each Pass").
-  bool fresh_permutation_each_pass = false;
 };
 
 /// Counters describing a finished run; the runtime benches report these.
@@ -87,6 +72,9 @@ struct PsgdOutput {
 /// `pass_callback`, when set, is invoked after each completed pass with the
 /// (1-based) pass number and current iterate — used for convergence
 /// tracking and the engine's convergence test.
+///
+/// This is the SERIAL black box: options.shards must be 1 (use
+/// RunShardedPsgd in optim/parallel_executor.h for shard-parallel runs).
 Result<PsgdOutput> RunPsgd(
     const Dataset& data, const LossFunction& loss,
     const StepSizeSchedule& schedule, const PsgdOptions& options, Rng* rng,

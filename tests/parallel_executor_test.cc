@@ -1,0 +1,272 @@
+#include "optim/parallel_executor.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/private_sgd.h"
+#include "core/sensitivity.h"
+#include "data/synthetic.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "optim/schedule.h"
+
+namespace bolton {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset MakeTrainingSet(size_t m, uint64_t seed = 91) {
+  SyntheticConfig config;
+  config.num_examples = m;
+  config.dim = 8;
+  config.margin = 2.0;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config).MoveValue();
+}
+
+/// A schedule whose very first step is invalid, so every shard's RunPsgd
+/// fails — exercises the failure-surfacing contract.
+class BadSchedule : public StepSizeSchedule {
+ public:
+  double StepSize(size_t) const override { return 0.0; }
+  double MaxStepSize() const override { return 0.0; }
+  std::string name() const override { return "bad"; }
+  std::unique_ptr<StepSizeSchedule> Clone() const override {
+    return std::make_unique<BadSchedule>();
+  }
+};
+
+TEST(ShardSeedTest, CounterBasedAndDistinct) {
+  std::set<uint64_t> seeds;
+  for (size_t j = 0; j < 64; ++j) {
+    // Depends only on (base, j): same inputs, same seed.
+    EXPECT_EQ(ShardSeed(42, j), ShardSeed(42, j));
+    seeds.insert(ShardSeed(42, j));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+  EXPECT_NE(ShardSeed(42, 0), ShardSeed(43, 0));
+}
+
+TEST(ParallelExecutorTest, ShardsOneIsBitIdenticalToSerial) {
+  Dataset data = MakeTrainingSet(150);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.2).MoveValue();
+  PsgdOptions options;
+  options.passes = 3;
+  options.batch_size = 4;
+
+  Rng serial_rng(17), sharded_rng(17);
+  auto serial = RunPsgd(data, *loss, *schedule, options, &serial_rng);
+  auto sharded =
+      RunShardedPsgd(data, *loss, *schedule, options, &sharded_rng);
+  ASSERT_TRUE(serial.ok() && sharded.ok());
+  EXPECT_EQ(serial.value().model, sharded.value().model);
+  EXPECT_EQ(sharded.value().shards, 1u);
+  ASSERT_EQ(sharded.value().shard_sizes.size(), 1u);
+  EXPECT_EQ(sharded.value().shard_sizes[0], data.size());
+  // The serial path must also consume the caller's rng identically.
+  EXPECT_EQ(serial_rng.Next(), sharded_rng.Next());
+}
+
+TEST(ParallelExecutorTest, DeterministicAtAnyThreadCount) {
+  Dataset data = MakeTrainingSet(203);
+  auto loss = MakeLogisticLoss(0.1, 10.0).MoveValue();
+  auto schedule = MakeInverseTimeStep(0.1, 1.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 3;
+  options.radius = 10.0;
+  options.shards = 4;
+
+  Vector reference;
+  for (size_t max_threads : {1u, 2u, 4u, 0u}) {
+    Rng rng(23);
+    auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng,
+                              max_threads);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    if (reference.empty()) {
+      reference = run.value().model;
+    } else {
+      EXPECT_EQ(reference, run.value().model)
+          << "model differs at max_threads=" << max_threads;
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, BalancedPartitionAndSummedStats) {
+  Dataset data = MakeTrainingSet(103);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 5;
+  options.shards = 4;
+  Rng rng(29);
+  auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(run.ok());
+  // 103 = 26 + 26 + 26 + 25.
+  ASSERT_EQ(run.value().shard_sizes.size(), 4u);
+  EXPECT_EQ(run.value().shard_sizes[0], 26u);
+  EXPECT_EQ(run.value().shard_sizes[1], 26u);
+  EXPECT_EQ(run.value().shard_sizes[2], 26u);
+  EXPECT_EQ(run.value().shard_sizes[3], 25u);
+  // Every example is touched once per pass across all shards.
+  EXPECT_EQ(run.value().stats.gradient_evaluations, 2u * 103u);
+  // ⌈26/5⌉ = 6 updates per pass on the big shards, ⌈25/5⌉ = 5 on the last.
+  EXPECT_EQ(run.value().stats.updates, 2u * (6u + 6u + 6u + 5u));
+}
+
+TEST(ParallelExecutorTest, ShardFailureSurfacesThroughResult) {
+  Dataset data = MakeTrainingSet(40);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  BadSchedule schedule;
+  PsgdOptions options;
+  options.passes = 1;
+  options.shards = 2;
+  Rng rng(31);
+  auto run = RunShardedPsgd(data, *loss, schedule, options, &rng);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("psgd shard"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(ParallelExecutorTest, RejectsInvalidShardConfigs) {
+  Dataset data = MakeTrainingSet(10);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  Rng rng(37);
+
+  PsgdOptions too_many;
+  too_many.shards = 11;
+  EXPECT_FALSE(RunShardedPsgd(data, *loss, *schedule, too_many, &rng).ok());
+
+  PsgdOptions big_batch;
+  big_batch.shards = 3;  // smallest shard has ⌊10/3⌋ = 3 examples
+  big_batch.batch_size = 4;
+  EXPECT_FALSE(RunShardedPsgd(data, *loss, *schedule, big_batch, &rng).ok());
+
+  PsgdOptions with_replacement;
+  with_replacement.shards = 2;
+  with_replacement.sampling = SamplingMode::kWithReplacement;
+  EXPECT_FALSE(
+      RunShardedPsgd(data, *loss, *schedule, with_replacement, &rng).ok());
+
+  // The serial black box itself refuses shards > 1.
+  PsgdOptions sharded_serial;
+  sharded_serial.shards = 2;
+  EXPECT_FALSE(RunPsgd(data, *loss, *schedule, sharded_serial, &rng).ok());
+}
+
+TEST(ParallelExecutorTest, ShardedSensitivityMatchesClosedForm) {
+  // Strongly convex, λ = 0.1, R = 1/λ = 10 ⇒ L = 1 + λR = 2, γ = 0.1.
+  auto strong = MakeLogisticLoss(0.1, 10.0).MoveValue();
+  SensitivitySetup setup;
+  setup.passes = 5;
+  setup.batch_size = 2;
+  setup.num_examples = 100;
+  // m = 100, s = 4 ⇒ every shard sees 25 examples: Δ₂ = 2L/(γ·25·b).
+  auto sharded = ShardedStronglyConvexDecreasingStepSensitivity(
+      *strong, setup, /*shards=*/4, /*use_corrected_minibatch=*/false);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_DOUBLE_EQ(sharded.value(), 2.0 * 2.0 / (0.1 * 25.0 * 2.0));
+
+  // Uneven split: m = 10, s = 3 ⇒ smallest shard ⌊10/3⌋ = 3 dominates.
+  SensitivitySetup uneven = setup;
+  uneven.num_examples = 10;
+  uneven.batch_size = 1;
+  auto smallest = ShardedStronglyConvexDecreasingStepSensitivity(
+      *strong, uneven, /*shards=*/3, /*use_corrected_minibatch=*/false);
+  ASSERT_TRUE(smallest.ok());
+  EXPECT_DOUBLE_EQ(smallest.value(), 2.0 * 2.0 / (0.1 * 3.0 * 1.0));
+
+  // shards = 1 degenerates to the serial Lemma 8 bound.
+  auto serial = StronglyConvexDecreasingStepSensitivity(*strong, setup);
+  auto one = ShardedStronglyConvexDecreasingStepSensitivity(
+      *strong, setup, /*shards=*/1, /*use_corrected_minibatch=*/false);
+  ASSERT_TRUE(serial.ok() && one.ok());
+  EXPECT_DOUBLE_EQ(one.value(), serial.value());
+
+  // Convex constant step: Δ₂ = 2kLη/b is m-oblivious, so sharding leaves
+  // it unchanged.
+  auto convex = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto convex_serial = ConvexConstantStepSensitivity(*convex, 0.05, setup);
+  auto convex_sharded =
+      ShardedConvexConstantStepSensitivity(*convex, 0.05, setup, 4);
+  ASSERT_TRUE(convex_serial.ok() && convex_sharded.ok());
+  EXPECT_DOUBLE_EQ(convex_sharded.value(), convex_serial.value());
+  EXPECT_DOUBLE_EQ(convex_sharded.value(), 2.0 * 5.0 * 1.0 * 0.05 / 2.0);
+}
+
+TEST(ParallelExecutorTest, MinShardSizeValidates) {
+  auto ok = MinShardSize(10, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3u);
+  EXPECT_FALSE(MinShardSize(10, 0).ok());
+  EXPECT_FALSE(MinShardSize(10, 11).ok());
+}
+
+TEST(ParallelExecutorTest, ShardMetricsRecorded) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Default().Reset();
+  Dataset data = MakeTrainingSet(60);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 1;
+  options.shards = 3;
+  Rng rng(41);
+  ASSERT_TRUE(RunShardedPsgd(data, *loss, *schedule, options, &rng).ok());
+  obs::SetMetricsEnabled(false);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Default().GetCounter("psgd.shard_runs")->Value(),
+      3u);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetCounter("psgd.shard_failures")
+                ->Value(),
+            0u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Default().GetGauge("psgd.shard_count")->Value(),
+      3.0);
+}
+
+TEST(ParallelExecutorTest, ShardedBoltOnRecordsLedgerAccounting) {
+  obs::PrivacyLedger::Default().Clear();
+  obs::PrivacyLedger::Default().SetEnabled(true);
+  Dataset data = MakeTrainingSet(120);
+  auto loss = MakeLogisticLoss(0.1, 10.0).MoveValue();
+  BoltOnOptions options;
+  options.privacy = PrivacyParams{1.0, 0.0};
+  options.passes = 2;
+  options.batch_size = 1;
+  options.shards = 2;
+  Rng rng(43);
+  auto run = PrivatePsgd(data, *loss, options, &rng);
+  obs::PrivacyLedger::Default().SetEnabled(false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().shards, 2u);
+  // The calibration Δ₂ must be the per-shard bound: 2L/(γ·(m/s)·b).
+  EXPECT_DOUBLE_EQ(run.value().sensitivity,
+                   2.0 * 2.0 / (0.1 * 60.0 * 1.0));
+
+  bool found = false;
+  for (const obs::LedgerEvent& event :
+       obs::PrivacyLedger::Default().Snapshot()) {
+    if (event.kind != "calibration") continue;
+    EXPECT_EQ(event.label, "bolton.sharded_sensitivity");
+    EXPECT_EQ(event.shards, 2u);
+    EXPECT_DOUBLE_EQ(event.epsilon, 1.0);
+    EXPECT_DOUBLE_EQ(event.sensitivity, run.value().sensitivity);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  obs::PrivacyLedger::Default().Clear();
+}
+
+}  // namespace
+}  // namespace bolton

@@ -197,7 +197,7 @@ TEST(TrainerTest, AverageModelsOptionWorks) {
   config.batch_size = 10;
   Rng rng_a(7), rng_b(7);
   auto last = TrainBinary(data, config, &rng_a);
-  config.average_models = true;
+  config.output = OutputMode::kAverageAll;
   auto averaged = TrainBinary(data, config, &rng_b);
   ASSERT_TRUE(last.ok() && averaged.ok());
   EXPECT_GT(Distance(last.value(), averaged.value()), 0.0);

@@ -96,7 +96,7 @@ int Train(int argc, char** argv) {
   std::string model_kind = "logistic";
   std::string model_path = "model.txt";
   double epsilon = 1.0, delta = 0.0, lambda = 0.0, huber_h = 0.1;
-  int64_t passes = 10, batch = 50;
+  int64_t passes = 10, batch = 50, shards = 1;
   bool metrics = false;
   std::string trace_out, ledger_out;
   int64_t serve_obs = -1, serve_obs_linger = 0;
@@ -112,6 +112,9 @@ int Train(int argc, char** argv) {
   parser.AddDouble("huber", &huber_h, "Huber smoothing width");
   parser.AddInt("passes", &passes, "SGD passes");
   parser.AddInt("batch", &batch, "mini-batch size");
+  parser.AddInt("shards", &shards,
+                "disjoint data shards trained in parallel and averaged "
+                "(noiseless/ours only; 1 = serial)");
   parser.AddBool("metrics", &metrics, "print a metrics dump after training");
   parser.AddString("trace-out", &trace_out,
                    "write trace spans as JSONL to this file");
@@ -158,6 +161,7 @@ int Train(int argc, char** argv) {
   config.huber_h = huber_h;
   config.passes = static_cast<size_t>(passes);
   config.batch_size = static_cast<size_t>(batch);
+  config.shards = static_cast<size_t>(shards);
   config.privacy = PrivacyParams{epsilon, delta};
 
   Rng rng(data_flags.seed + 2);

@@ -15,6 +15,7 @@ set -eu
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
 TSAN_BUILD="${2:-$ROOT/build-tsan}"
+PRIMARY_BUILD="${3:-$ROOT/build}"
 
 echo "== configure (Debug, -fsanitize=address,undefined) =="
 cmake -S "$ROOT" -B "$BUILD" \
@@ -81,15 +82,37 @@ port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
 "$CLI" scrape --port "$port" --path /quitquitquit > /dev/null
 wait "$obs_pid"
 
-echo "== ThreadSanitizer pass (obs server + lock-free registries) =="
+echo "== ThreadSanitizer pass (obs server, registries, sharded executor) =="
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   > "$TSAN_BUILD.configure.log" 2>&1 || { cat "$TSAN_BUILD.configure.log"; exit 1; }
 cmake --build "$TSAN_BUILD" -j \
-  -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test
+  -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
+  -t parallel_executor_test -t solver_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^obs_(metrics|ledger|export|http)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|parallel_executor|solver)_test$'
+
+echo "== bench regression gate (parallel scaling vs BENCH_PR4.json) =="
+# Gate only when python3 and the baseline are available (the baseline rows
+# were captured on the reference machine; the generous threshold absorbs
+# machine-to-machine noise while still catching order-of-magnitude
+# regressions in the sharded executor).
+if command -v python3 > /dev/null 2>&1 && [ -f "$ROOT/BENCH_PR4.json" ]; then
+  # Run the unsanitized build — the baseline was captured without
+  # sanitizers, so an ASan binary would always look like a regression.
+  cmake -S "$ROOT" -B "$PRIMARY_BUILD" \
+      > "$WORKDIR/primary.configure.log" 2>&1 \
+      || { cat "$WORKDIR/primary.configure.log"; exit 1; }
+  cmake --build "$PRIMARY_BUILD" -j -t bench_parallel_scaling
+  "$PRIMARY_BUILD/bench/bench_parallel_scaling" --scale 0.05 \
+      --json-out "$WORKDIR/parallel_scaling.json" > /dev/null
+  python3 "$ROOT/tools/benchdiff.py" diff \
+      "$ROOT/BENCH_PR4.json" "$WORKDIR/parallel_scaling.json" \
+      --threshold 0.75
+else
+  echo "skipped (python3 or BENCH_PR4.json missing)"
+fi
 
 echo "all checks passed"
