@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "optim/parallel_executor.h"
 #include "optim/schedule.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -40,6 +41,7 @@ Result<double> BoltOnSensitivity(const LossFunction& loss, double eta,
                                  const SensitivitySetup& setup, size_t shards,
                                  bool use_corrected_minibatch,
                                  const PrivacyParams& privacy) {
+  BOLTON_FAILPOINT("bolton.calibrate");
   obs::ScopedSpan sensitivity_span("bolton.sensitivity");
   double sensitivity;
   if (loss.IsStronglyConvex()) {
@@ -71,6 +73,7 @@ Result<double> BoltOnSensitivity(const LossFunction& loss, double eta,
 Result<PrivateSgdOutput> BoltOnPerturb(const Vector& model, double sensitivity,
                                        const PrivacyParams& privacy,
                                        Rng* rng) {
+  BOLTON_FAILPOINT("bolton.perturb");
   BOLTON_RETURN_IF_ERROR(privacy.Validate());
   if (sensitivity < 0.0) {
     return Status::InvalidArgument("sensitivity must be >= 0");

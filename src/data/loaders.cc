@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -28,7 +29,7 @@ Result<SparseRow> ParseLibsvmLine(const std::string& line, size_t line_no) {
   if (!label.ok()) {
     // Some files carry real-valued labels; accept and round integral ones.
     auto as_double = ParseDouble(token);
-    if (!as_double.ok() ||
+    if (!as_double.ok() || !std::isfinite(as_double.value()) ||
         as_double.value() != std::floor(as_double.value())) {
       return Status::InvalidArgument(
           StrFormat("line %zu: non-integer label '%s'", line_no,
@@ -53,6 +54,13 @@ Result<SparseRow> ParseLibsvmLine(const std::string& line, size_t line_no) {
       return Status::InvalidArgument(
           StrFormat("line %zu: libsvm indices are 1-based", line_no));
     }
+    if (!std::isfinite(val.value())) {
+      // strtod happily parses "nan"/"inf"; one such value poisons every
+      // gradient, so reject at the source with full context.
+      return Status::InvalidArgument(
+          StrFormat("line %zu: non-finite value in feature '%s'", line_no,
+                    token.c_str()));
+    }
     row.entries.emplace_back(static_cast<size_t>(idx.value() - 1), val.value());
   }
   return row;
@@ -61,6 +69,7 @@ Result<SparseRow> ParseLibsvmLine(const std::string& line, size_t line_no) {
 }  // namespace
 
 Result<Dataset> LoadLibsvm(const std::string& path, size_t dim) {
+  BOLTON_FAILPOINT("loader.open");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -73,6 +82,7 @@ Result<Dataset> LoadLibsvm(const std::string& path, size_t dim) {
     ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
+    BOLTON_FAILPOINT("loader.row");
     BOLTON_ASSIGN_OR_RETURN(SparseRow row,
                             ParseLibsvmLine(std::string(stripped), line_no));
     for (const auto& [idx, val] : row.entries) {
@@ -110,6 +120,7 @@ Result<Dataset> LoadLibsvm(const std::string& path, size_t dim) {
 }
 
 Result<Dataset> LoadCsv(const std::string& path) {
+  BOLTON_FAILPOINT("loader.open");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -117,26 +128,52 @@ Result<Dataset> LoadCsv(const std::string& path) {
   std::string line;
   size_t line_no = 0;
   size_t width = 0;
+  bool header_skipped = false;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
+    BOLTON_FAILPOINT("loader.row");
     std::vector<std::string> fields = StrSplit(stripped, ',');
     std::vector<double> values;
     values.reserve(fields.size());
-    bool parse_failed = false;
-    for (const std::string& f : fields) {
-      auto v = ParseDouble(f);
+    // Scan every field so a malformed DATA row (some fields numeric) can
+    // be told apart from a header row (no field numeric): only the latter
+    // may be skipped, and only as the first row. The old rule silently
+    // dropped any unparseable first row — including truncated data.
+    size_t bad_column = 0;  // 1-based column of the first parse failure
+    std::string bad_field;
+    bool any_numeric = false;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto v = ParseDouble(fields[c]);
       if (!v.ok()) {
-        parse_failed = true;
-        break;
+        if (bad_column == 0) {
+          bad_column = c + 1;
+          bad_field = fields[c];
+        }
+        continue;
       }
-      values.push_back(v.value());
+      any_numeric = true;
+      if (bad_column == 0) {
+        if (!std::isfinite(v.value())) {
+          // strtod accepts "nan"/"inf"; one such field poisons the model.
+          return Status::InvalidArgument(StrFormat(
+              "line %zu, column %zu: non-finite value '%s'", line_no, c + 1,
+              fields[c].c_str()));
+        }
+        values.push_back(v.value());
+      }
     }
-    if (parse_failed) {
-      if (rows.empty()) continue;  // header row
+    if (bad_column != 0) {
+      // At most ONE leading all-text row is a header; anything else
+      // non-numeric is an error.
+      if (rows.empty() && !any_numeric && !header_skipped) {
+        header_skipped = true;
+        continue;
+      }
       return Status::InvalidArgument(
-          StrFormat("line %zu: non-numeric field", line_no));
+          StrFormat("line %zu, column %zu: non-numeric field '%s'", line_no,
+                    bad_column, bad_field.c_str()));
     }
     if (width == 0) {
       width = values.size();

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -14,6 +15,7 @@ constexpr char kMagic[] = "bolton-model v1";
 
 Status WriteModelFile(const std::vector<const Vector*>& weights,
                       const std::string& path) {
+  BOLTON_FAILPOINT("model_io.save");
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out << kMagic << "\n";
@@ -34,6 +36,7 @@ struct ParsedModel {
 };
 
 Result<ParsedModel> ReadModelFile(const std::string& path) {
+  BOLTON_FAILPOINT("model_io.load");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 

@@ -66,12 +66,19 @@ int64_t QueryIntParam(const std::string& query, const std::string& key,
 
 }  // namespace
 
-Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port) {
+Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port,
+                                                    int io_timeout_ms) {
   if (port < 0 || port > 65535) {
     return Status::InvalidArgument(
         StrFormat("obs server port out of range: %d", port));
   }
+  if (io_timeout_ms <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("obs server io timeout must be > 0 ms, got %d",
+                  io_timeout_ms));
+  }
   std::unique_ptr<ObsServer> server(new ObsServer());
+  server->io_timeout_ms_ = io_timeout_ms;
   BOLTON_ASSIGN_OR_RETURN(server->listen_fd_,
                           net::ListenTcp(static_cast<uint16_t>(port)));
   BOLTON_ASSIGN_OR_RETURN(server->port_, net::LocalPort(server->listen_fd_));
@@ -132,33 +139,44 @@ void ObsServer::Serve() {
 }
 
 void ObsServer::HandleConnection(int fd) {
-  auto head = net::RecvHttpHead(fd, kMaxRequestBytes);
-  if (!head.ok()) return;
-  // Request line: METHOD SP TARGET SP VERSION.
+  // Per-connection read deadline: a silent or slow-loris client is dropped
+  // after io_timeout_ms_ instead of wedging the accept loop.
+  auto head = net::RecvHttpHead(fd, kMaxRequestBytes, io_timeout_ms_);
+  if (!head.ok()) return;  // timeout / reset: nothing sensible to answer
   const std::string& text = head.value();
-  const size_t line_end = text.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? text : text.substr(0, line_end);
-  std::vector<std::string> parts = StrSplit(line, ' ');
-  std::string method = parts.size() > 0 ? parts[0] : "";
-  std::string target = parts.size() > 1 ? parts[1] : "/";
 
   int http_status = 200;
   std::string content_type = "text/plain; charset=utf-8";
-  std::string body = HandleRequest(method, target, &http_status,
-                                   &content_type);
+  std::string body;
+  if (text.find("\r\n\r\n") == std::string::npos) {
+    // Request head hit the size cap (or the client half-closed) without a
+    // terminating blank line: reject, don't guess.
+    http_status = 400;
+    body = StrFormat("request head exceeds %zu bytes or is unterminated\n",
+                     kMaxRequestBytes);
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const size_t line_end = text.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? text : text.substr(0, line_end);
+    std::vector<std::string> parts = StrSplit(line, ' ');
+    std::string method = parts.size() > 0 ? parts[0] : "";
+    std::string target = parts.size() > 1 ? parts[1] : "/";
+    body = HandleRequest(method, target, &http_status, &content_type);
+  }
+
   std::string response = StrFormat(
       "%s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
       "Connection: close\r\n\r\n",
       StatusLine(http_status).c_str(), content_type.c_str(), body.size());
   response += body;
-  (void)net::SendAll(fd, response.data(), response.size());
+  // Write deadline: a client that stops reading cannot park us in send().
+  (void)net::SendAll(fd, response.data(), response.size(), io_timeout_ms_);
   ::shutdown(fd, SHUT_WR);
   // Drain whatever the client still sends so its write path never sees a
-  // reset before it reads our response.
-  char drain[256];
-  while (::recv(fd, drain, sizeof(drain), 0) > 0) {
-  }
+  // reset before it reads our response — but bounded: at most the request
+  // cap, within the same deadline.
+  (void)net::RecvAll(fd, kMaxRequestBytes, io_timeout_ms_);
 }
 
 std::string ObsServer::HandleRequest(const std::string& method,

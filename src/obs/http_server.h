@@ -38,7 +38,14 @@ class ObsServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
   /// the serving thread. The server runs until Stop()/destruction.
-  static Result<std::unique_ptr<ObsServer>> Start(int port);
+  ///
+  /// `io_timeout_ms` bounds each connection's read AND write phases
+  /// separately (poll-based deadlines): a client that connects and goes
+  /// silent, or stops reading the response, is dropped after the timeout
+  /// instead of wedging the single-threaded accept loop. Must be > 0 — an
+  /// operator endpoint never blocks forever on one peer.
+  static Result<std::unique_ptr<ObsServer>> Start(int port,
+                                                  int io_timeout_ms = 5000);
 
   ~ObsServer();
 
@@ -74,6 +81,7 @@ class ObsServer {
   int wake_read_fd_ = -1;   // self-pipe: Stop() wakes the poll loop
   int wake_write_fd_ = -1;
   int port_ = 0;
+  int io_timeout_ms_ = 5000;
   uint64_t start_ns_ = 0;
   std::thread thread_;
   std::atomic<bool> stop_{false};

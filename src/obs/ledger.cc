@@ -35,6 +35,16 @@ void PrivacyLedger::Clear() {
   next_seq_ = 1;
 }
 
+void PrivacyLedger::Restore(std::vector<LedgerEvent> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_seq = 0;
+  for (const LedgerEvent& event : events) {
+    if (event.seq > max_seq) max_seq = event.seq;
+  }
+  events_ = std::move(events);
+  next_seq_ = max_seq + 1;
+}
+
 std::string PrivacyLedger::ToJsonl() const {
   return RenderLedgerJsonl(Snapshot());
 }

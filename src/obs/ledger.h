@@ -27,7 +27,11 @@ struct LedgerEvent {
   uint64_t seq = 0;
   uint64_t time_ns = 0;
 
-  /// "noise_draw" | "accountant_charge" | "calibration".
+  /// "noise_draw" | "accountant_charge" | "calibration" — the privacy
+  /// events proper — plus the robustness audit trail: "fault" (an injected
+  /// or real fault observed at a failpoint site), "retry" (a shard retried
+  /// after a recoverable failure), "checkpoint" (pass-boundary state
+  /// persisted), "resume" (a run continued from a checkpoint).
   std::string kind;
   /// "laplace" | "gaussian" | "gaussian_per_step" | "" (charges).
   std::string mechanism;
@@ -73,6 +77,13 @@ class PrivacyLedger {
   std::vector<LedgerEvent> Snapshot() const;
   size_t size() const;
   void Clear();
+
+  /// Replaces the log with `events` (a prior Snapshot), continuing seq
+  /// numbering after the largest restored seq. Used by checkpoint resume
+  /// (core/checkpoint.h) so a recovered run's audit trail is continuous —
+  /// calibration events recorded before the crash survive into the dump of
+  /// the resumed process.
+  void Restore(std::vector<LedgerEvent> events);
 
   /// One JSON object per event, in record order.
   std::string ToJsonl() const;

@@ -7,6 +7,7 @@
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -62,6 +63,23 @@ void SetAllEnabled(bool enabled) {
   SetMetricsEnabled(enabled);
   TraceRecorder::Default().SetEnabled(enabled);
   PrivacyLedger::Default().SetEnabled(enabled);
+}
+
+void InstallFailpointObsBridge() {
+  FailpointRegistry::Default().SetObserver(
+      [](const char* site, uint64_t hit, const char* action) {
+        static Counter* fired =
+            MetricsRegistry::Default().GetCounter("failpoints_fired");
+        fired->Increment();
+        PrivacyLedger& ledger = PrivacyLedger::Default();
+        if (!ledger.enabled()) return;
+        LedgerEvent event;
+        event.kind = "fault";
+        event.mechanism = action;
+        event.label = site;
+        event.step = hit;
+        ledger.Record(std::move(event));
+      });
 }
 
 namespace internal {

@@ -30,6 +30,14 @@ std::string JsonEscape(const std::string& s);
 /// Master switch: flips metrics, trace, and ledger recording together.
 void SetAllEnabled(bool enabled);
 
+/// Wires the fault-injection registry (util/failpoint.h — a layer below
+/// obs, so it cannot call us directly) into the telemetry pillars: every
+/// fired failpoint increments the `failpoints_fired` counter and, when
+/// the ledger is enabled, records a "fault" event carrying the site (as
+/// label), hit count (as step), and action. Idempotent; installed by the
+/// CLI/bench surfaces that enable telemetry.
+void InstallFailpointObsBridge();
+
 namespace internal {
 /// Overwrites `path` with `content`; the pillars' JSONL/text exporters all
 /// funnel through this one writer.

@@ -1,17 +1,48 @@
 #include "optim/parallel_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
 
 namespace {
+
+/// Exponential backoff with jitter before retry `attempt` (1-based). The
+/// jitter rng is a timing-only stream: it never feeds shard results.
+void SleepBeforeRetry(const ShardRetryPolicy& retry, size_t attempt,
+                      Rng* jitter_rng) {
+  if (retry.backoff_base_ms == 0) return;
+  const size_t shift = std::min<size_t>(attempt - 1, 20);
+  double ms = static_cast<double>(retry.backoff_base_ms) *
+              static_cast<double>(uint64_t{1} << shift);
+  if (retry.jitter_frac > 0.0) {
+    ms *= 1.0 + jitter_rng->UniformDouble(0.0, retry.jitter_frac);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// "retry" audit event: shard `shard` is being re-attempted (step = the
+/// attempt number about to run, 1-based).
+void RecordRetryEvent(const char* label, size_t shard, size_t attempt,
+                      size_t shards) {
+  obs::PrivacyLedger& ledger = obs::PrivacyLedger::Default();
+  if (!ledger.enabled()) return;
+  obs::LedgerEvent event;
+  event.kind = "retry";
+  event.label = StrFormat("%s.shard%zu", label, shard);
+  event.step = attempt;
+  event.shards = shards;
+  ledger.Record(std::move(event));
+}
 
 Status ValidateShardedOptions(const Dataset& data, const PsgdOptions& options) {
   if (options.shards < 1) {
@@ -50,8 +81,12 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
                                          const LossFunction& loss,
                                          const StepSizeSchedule& schedule,
                                          const PsgdOptions& options, Rng* rng,
-                                         size_t max_threads) {
+                                         size_t max_threads,
+                                         const ShardRetryPolicy& retry) {
   BOLTON_RETURN_IF_ERROR(ValidateShardedOptions(data, options));
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
 
   if (options.shards == 1) {
     // Bit-identical serial path: same code, same rng consumption.
@@ -110,19 +145,41 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
       obs::MetricsRegistry::Default().GetCounter("psgd.shard_runs");
   obs::Counter* shard_failures =
       obs::MetricsRegistry::Default().GetCounter("psgd.shard_failures");
+  obs::Counter* shard_retries =
+      obs::MetricsRegistry::Default().GetCounter("psgd.shard_retries");
+  obs::Counter* shard_redispatches =
+      obs::MetricsRegistry::Default().GetCounter("psgd.shard_redispatches");
   obs::Gauge* shard_count =
       obs::MetricsRegistry::Default().GetGauge("psgd.shard_count");
   obs::Histogram* shard_seconds = obs::MetricsRegistry::Default().GetHistogram(
       "psgd.shard_seconds", obs::LatencySecondsBuckets());
   shard_count->Set(static_cast<double>(s));
 
+  // One attempt: fault-injection gate, then PSGD from the shard's
+  // counter-based seed. Re-seeding per attempt makes a retried success
+  // bit-identical to a first-try success.
+  auto attempt_shard = [&](size_t j) -> Result<PsgdOutput> {
+    BOLTON_FAILPOINT("shard.worker");
+    Rng shard_rng(ShardSeed(seed_base, j));
+    return RunPsgd(shard_data[j], loss, schedule, shard_options, &shard_rng);
+  };
+
   std::vector<Result<PsgdOutput>> results(s, Result<PsgdOutput>(PsgdOutput()));
   auto run_shard = [&](size_t j) {
     obs::ScopedSpan shard_span("psgd.shard");
     const uint64_t start_ns = obs::MonotonicNanos();
-    Rng shard_rng(ShardSeed(seed_base, j));
-    results[j] =
-        RunPsgd(shard_data[j], loss, schedule, shard_options, &shard_rng);
+    // Timing-only stream for backoff jitter, decorrelated from the shard
+    // stream by a distinct tweak word.
+    Rng jitter_rng(ShardSeed(seed_base ^ 0x626f6c746f6e6a74ull, j));
+    Result<PsgdOutput> result = attempt_shard(j);
+    for (size_t attempt = 2;
+         !result.ok() && attempt <= retry.max_attempts; ++attempt) {
+      SleepBeforeRetry(retry, attempt - 1, &jitter_rng);
+      shard_retries->Increment();
+      RecordRetryEvent("psgd.shard_retry", j, attempt, s);
+      result = attempt_shard(j);
+    }
+    results[j] = std::move(result);
     shard_seconds->Observe(
         static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9);
     shard_runs->Increment();
@@ -147,10 +204,30 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     for (std::thread& worker : workers) worker.join();
   }
 
+  // Degradation phase: shards whose worker exhausted its attempts get one
+  // re-dispatch on this (surviving) thread with a fresh attempt budget —
+  // covers a wedged/died worker without changing results (same seeds).
+  // Only active when retry is enabled, so the default path is untouched.
+  if (retry.max_attempts > 1) {
+    for (size_t j = 0; j < s; ++j) {
+      if (results[j].ok()) continue;
+      shard_redispatches->Increment();
+      RecordRetryEvent("psgd.shard_redispatch", j, 1, s);
+      run_shard(j);
+    }
+  }
+
+  // HARD POLICY: any shard still failing fails the whole release. Lemma
+  // 10 calibrates the released average to all s shard models; a partial
+  // average is never produced.
   for (size_t j = 0; j < s; ++j) {
     if (!results[j].ok()) {
       return results[j].status().WithContext(
-          StrFormat("psgd shard %zu of %zu", j, s));
+          retry.max_attempts > 1
+              ? StrFormat("psgd shard %zu of %zu (retries exhausted; "
+                          "refusing to average a partial run)",
+                          j, s)
+              : StrFormat("psgd shard %zu of %zu", j, s));
     }
   }
 

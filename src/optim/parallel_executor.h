@@ -34,6 +34,32 @@ struct ShardedPsgdOutput {
 /// shard index) — never on worker scheduling order.
 uint64_t ShardSeed(uint64_t seed_base, size_t shard);
 
+/// Graceful degradation policy for shard workers.
+///
+/// A failed shard attempt is retried in place up to `max_attempts` total
+/// attempts, with exponential backoff (base << attempt) plus uniform
+/// jitter between attempts; shards that exhaust their worker's budget are
+/// re-dispatched once onto the main (surviving) thread with a fresh
+/// attempt budget. Every attempt reconstructs the shard rng from the same
+/// ShardSeed, so a shard that eventually succeeds produces a result
+/// bit-identical to one that succeeded first try — the jitter rng is a
+/// separate stream that only affects timing, never results.
+///
+/// HARD POLICY: a shard that never succeeds fails the WHOLE run. Lemma
+/// 10's sensitivity argument calibrates the released average to all s
+/// shard models; averaging a subset would both change the release and
+/// void the calibration, so a partial average is never produced.
+struct ShardRetryPolicy {
+  /// Total attempts per shard per dispatch; 1 disables retry (and the
+  /// re-dispatch phase), reproducing the fail-fast behavior exactly.
+  size_t max_attempts = 1;
+  /// Backoff before retry a (1-based) is base·2^(a−1) ms; 0 retries
+  /// immediately.
+  uint64_t backoff_base_ms = 0;
+  /// Each backoff is stretched by a uniform factor in [1, 1 + jitter_frac].
+  double jitter_frac = 0.0;
+};
+
 /// Shard-parallel black-box PSGD (paper §3.2.3, Lemma 10):
 ///
 ///   1. draw one permutation τ of [m] from `rng` and partition it into
@@ -56,7 +82,11 @@ uint64_t ShardSeed(uint64_t seed_base, size_t shard);
 ///    `max_threads` (partition and seeds are drawn before workers start,
 ///    shard outputs are averaged in shard order);
 ///  * a failing shard surfaces through the returned Result<> (no abort);
-///    the first failing shard's status is returned with shard context.
+///    after `retry` is exhausted the first failing shard's status is
+///    returned with shard context and NO model is released (never a
+///    partial average — see ShardRetryPolicy);
+///  * retried attempts re-seed the shard rng identically, so recovery
+///    does not perturb the released model.
 ///
 /// `max_threads` caps the worker pool (0 = one thread per shard); shards
 /// are assigned round-robin. Requires permutation sampling and no
@@ -67,7 +97,8 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
                                          const LossFunction& loss,
                                          const StepSizeSchedule& schedule,
                                          const PsgdOptions& options, Rng* rng,
-                                         size_t max_threads = 0);
+                                         size_t max_threads = 0,
+                                         const ShardRetryPolicy& retry = {});
 
 }  // namespace bolton
 

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -52,8 +53,18 @@ Result<PsgdOutput> RunPsgd(
     const Dataset& data, const LossFunction& loss,
     const StepSizeSchedule& schedule, const PsgdOptions& options, Rng* rng,
     GradientNoiseSource* noise,
-    const std::function<void(size_t, const Vector&)>& pass_callback) {
+    const std::function<void(size_t, const Vector&)>& pass_callback,
+    const PsgdCheckpointPlan* checkpoint) {
   BOLTON_RETURN_IF_ERROR(ValidateOptions(data, options));
+  const PsgdResumeState* resume =
+      checkpoint != nullptr ? checkpoint->resume : nullptr;
+  if (checkpoint != nullptr &&
+      (checkpoint->every_passes > 0 || resume != nullptr) &&
+      options.sampling != SamplingMode::kPermutation) {
+    return Status::InvalidArgument(
+        "checkpoint/resume requires permutation sampling (the resume "
+        "contract replays the permutation stream)");
+  }
 
   obs::ScopedSpan run_span("psgd.run");
 
@@ -68,7 +79,35 @@ Result<PsgdOutput> RunPsgd(
 
   PsgdStats stats;
   std::vector<size_t> order;
-  if (options.sampling == SamplingMode::kPermutation) {
+  size_t step = 0;  // 1-based after increment; indexes the schedule
+  size_t first_pass = 1;
+  if (resume != nullptr) {
+    if (resume->w.dim() != dim) {
+      return Status::InvalidArgument(
+          StrFormat("resume state dim %zu does not match data dim %zu",
+                    resume->w.dim(), dim));
+    }
+    if (resume->completed_passes >= options.passes) {
+      return Status::InvalidArgument(
+          StrFormat("resume state already holds %zu of %zu passes",
+                    resume->completed_passes, options.passes));
+    }
+    if (resume->order.size() != m) {
+      return Status::InvalidArgument(
+          StrFormat("resume permutation covers %zu of %zu examples",
+                    resume->order.size(), m));
+    }
+    if (!resume->iterate_sum.empty() && resume->iterate_sum.dim() != dim) {
+      return Status::InvalidArgument("resume iterate_sum dim mismatch");
+    }
+    w = resume->w;
+    if (!resume->iterate_sum.empty()) iterate_sum = resume->iterate_sum;
+    stats = resume->stats;
+    step = resume->step;
+    order = resume->order;
+    rng->RestoreState(resume->rng);
+    first_pass = resume->completed_passes + 1;
+  } else if (options.sampling == SamplingMode::kPermutation) {
     obs::ScopedSpan shuffle_span("psgd.shuffle");
     order = RandomPermutation(m, rng);
   } else {
@@ -78,8 +117,8 @@ Result<PsgdOutput> RunPsgd(
   static obs::Histogram* pass_seconds = obs::MetricsRegistry::Default()
       .GetHistogram("psgd.pass_seconds", obs::LatencySecondsBuckets());
 
-  size_t step = 0;  // 1-based after increment; indexes the schedule
-  for (size_t pass = 1; pass <= options.passes; ++pass) {
+  for (size_t pass = first_pass; pass <= options.passes; ++pass) {
+    BOLTON_FAILPOINT("psgd.pass");
     obs::ScopedSpan pass_span("psgd.pass");
     obs::PhaseAccumulator gradient_phase("psgd.gradient");
     obs::PhaseAccumulator noise_phase("psgd.noise_draw");
@@ -138,6 +177,27 @@ Result<PsgdOutput> RunPsgd(
     pass_seconds->Observe(
         static_cast<double>(obs::MonotonicNanos() - pass_start) * 1e-9);
     if (pass_callback) pass_callback(pass, w);
+
+    if (checkpoint != nullptr && checkpoint->every_passes > 0 &&
+        checkpoint->sink && pass < options.passes &&
+        pass % checkpoint->every_passes == 0) {
+      obs::ScopedSpan checkpoint_span("psgd.checkpoint");
+      PsgdResumeState snapshot;
+      snapshot.completed_passes = pass;
+      snapshot.step = step;
+      snapshot.w = w;
+      if (options.output == OutputMode::kAverageAll) {
+        snapshot.iterate_sum = iterate_sum;
+      }
+      snapshot.stats = stats;
+      snapshot.rng = rng->SaveState();
+      snapshot.order = order;
+      Status saved = checkpoint->sink(snapshot);
+      if (!saved.ok()) {
+        return saved.WithContext(
+            StrFormat("checkpoint sink at pass %zu", pass));
+      }
+    }
   }
 
   FlushStats(stats);

@@ -61,6 +61,46 @@ struct PsgdOutput {
   PsgdStats stats;
 };
 
+/// Everything needed to continue a run from a pass boundary bit-identically
+/// to a run that was never interrupted: iterate(s), cursor, engine counters,
+/// the PSGD rng state, and the active permutation. Captured at pass
+/// boundaries by the checkpoint plan below and persisted (atomically, with
+/// an UNRELEASED_PRIVATE header — the iterate is NOT noised and must never
+/// be released) by core/checkpoint.h.
+struct PsgdResumeState {
+  /// Passes fully applied to `w`; the run continues at pass
+  /// completed_passes + 1.
+  size_t completed_passes = 0;
+  /// Updates applied so far (the 1-based schedule cursor after this pass).
+  size_t step = 0;
+  Vector w;
+  /// Running Σ w_t for OutputMode::kAverageAll; empty otherwise is fine —
+  /// dimension is validated against `w`.
+  Vector iterate_sum;
+  PsgdStats stats;
+  /// The PSGD rng captured AFTER this pass's permutation draws, so a
+  /// resumed run draws later fresh permutations identically.
+  RngState rng;
+  /// The permutation in effect (drawn once at start, or this pass's fresh
+  /// draw); resuming replays it instead of re-drawing.
+  std::vector<size_t> order;
+};
+
+/// Periodic checkpointing of a PSGD run (permutation sampling only).
+struct PsgdCheckpointPlan {
+  /// Invoke `sink` after every this-many completed passes (0 = never). The
+  /// final pass is not checkpointed — the run is about to release.
+  size_t every_passes = 0;
+  /// Receives the pass-boundary state; a non-OK return aborts the run with
+  /// that status (a checkpoint that cannot be persisted is a failed run,
+  /// not a silently weaker one).
+  std::function<Status(const PsgdResumeState&)> sink;
+  /// When set, the run continues from this state instead of starting fresh:
+  /// `rng` is restored, the permutation is replayed, and execution resumes
+  /// at pass completed_passes + 1.
+  const PsgdResumeState* resume = nullptr;
+};
+
 /// Runs k-pass mini-batch permutation-based SGD:
 ///
 ///   w_t = Π_R( w_{t−1} − η_t · [ (1/|B_t|) Σ_{i∈B_t} ∇ℓ_i(w_{t−1}) + z_t ] )
@@ -73,13 +113,18 @@ struct PsgdOutput {
 /// (1-based) pass number and current iterate — used for convergence
 /// tracking and the engine's convergence test.
 ///
+/// `checkpoint`, when set, enables pass-boundary checkpointing and resume
+/// (see PsgdCheckpointPlan); resuming from a sink-captured state continues
+/// the permutation and rng streams bit-identically to an uninterrupted run.
+///
 /// This is the SERIAL black box: options.shards must be 1 (use
 /// RunShardedPsgd in optim/parallel_executor.h for shard-parallel runs).
 Result<PsgdOutput> RunPsgd(
     const Dataset& data, const LossFunction& loss,
     const StepSizeSchedule& schedule, const PsgdOptions& options, Rng* rng,
     GradientNoiseSource* noise = nullptr,
-    const std::function<void(size_t, const Vector&)>& pass_callback = nullptr);
+    const std::function<void(size_t, const Vector&)>& pass_callback = nullptr,
+    const PsgdCheckpointPlan* checkpoint = nullptr);
 
 }  // namespace bolton
 

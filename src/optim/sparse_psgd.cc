@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -61,6 +62,7 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
 
   size_t step = 0;
   for (size_t pass = 1; pass <= options.passes; ++pass) {
+    BOLTON_FAILPOINT("sparse_psgd.pass");
     obs::ScopedSpan pass_span("psgd.pass");
     obs::PhaseAccumulator gradient_phase("psgd.gradient");
     obs::PhaseAccumulator noise_phase("psgd.noise_draw");

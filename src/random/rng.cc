@@ -75,6 +75,20 @@ double Rng::Gaussian() {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.words[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.words[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Rng::StateFingerprint() const {
   // Fold the four state words through splitmix64 so nearby states map to
   // unrelated digests. Read-only: the generator sequence is unaffected.

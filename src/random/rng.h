@@ -5,6 +5,16 @@
 
 namespace bolton {
 
+/// A serialized Rng: the four xoshiro256** state words plus the Gaussian
+/// cache. Checkpoints persist this so a resumed run continues the exact
+/// random stream — permutations, splits, and noise draws — bit-identically
+/// to an uninterrupted run (core/checkpoint.h).
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic pseudo-random generator: xoshiro256** seeded via splitmix64.
 ///
 /// One small, fast, well-tested engine is used everywhere in the library so
@@ -54,6 +64,12 @@ class Rng {
   /// recorded by the privacy ledger (obs/ledger.h) so every noise draw in a
   /// dump is attributable to the generator state that produced it.
   uint64_t StateFingerprint() const;
+
+  /// Captures / restores the full generator state (including the Gaussian
+  /// cache). RestoreState(SaveState()) is an exact no-op: the subsequent
+  /// stream is bit-identical. Consumes no randomness.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

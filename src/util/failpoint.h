@@ -1,0 +1,128 @@
+#ifndef BOLTON_UTIL_FAILPOINT_H_
+#define BOLTON_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace bolton {
+
+/// Deterministic fault injection (RocksDB-style "failpoints").
+///
+/// Long multi-pass PSGD runs inside a production system must survive worker
+/// crashes, I/O errors, and process restarts, and the recovery paths are
+/// exactly the code that ordinary tests never execute. A failpoint is a
+/// named site threaded through the loaders, the PSGD pass loop, the sharded
+/// executor, noise calibration, and model/checkpoint I/O; a test (or an
+/// operator, via the BOLTON_FAILPOINTS environment variable) arms sites
+/// with actions and the site then fails deterministically:
+///
+///   BOLTON_FAILPOINTS="psgd.pass:error@2;loader.row:1in20;shard.worker:panic@1"
+///
+/// Grammar (sites separated by ';'):
+///
+///   entry  := site ':' action
+///   action := 'error'            fire an injected IOError on every hit
+///           | 'error@' N         fire on the Nth hit only (1-based)
+///           | 'error*' N         fire on the first N hits
+///           | '1in' N            fire on every Nth hit (N, 2N, ...)
+///           | 'panic'            abort() on the first hit
+///           | 'panic@' N         abort() on the Nth hit
+///           | 'delay@' MS        sleep MS milliseconds on every hit
+///           | 'off'              count hits, never fire
+///
+/// Everything is counter-based — "1in20" fires on hits 20, 40, ... rather
+/// than with probability 1/20 — so a failing run replays identically, which
+/// is what the crash/resume tests need.
+///
+/// With no sites configured the per-site cost is one relaxed atomic load
+/// and a predictable branch (see BOLTON_FAILPOINT below); production runs
+/// with BOLTON_FAILPOINTS unset pay nothing measurable.
+class FailpointRegistry {
+ public:
+  /// Process-wide registry. On first use it arms itself from the
+  /// BOLTON_FAILPOINTS environment variable (a malformed spec is logged and
+  /// ignored rather than taking the process down).
+  static FailpointRegistry& Default();
+
+  /// Parses `spec` and replaces the active site set. An empty spec clears
+  /// the registry. Returns InvalidArgument (and leaves the previous
+  /// configuration armed) on a malformed spec.
+  Status Configure(const std::string& spec);
+
+  /// Configure() from the BOLTON_FAILPOINTS environment variable; an unset
+  /// or empty variable clears the registry.
+  Status ConfigureFromEnv();
+
+  /// Disarms every site and resets hit counters.
+  void Clear();
+
+  /// True when at least one site is configured — the macro's fast path.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Counts a hit at `site` and applies its action: returns the injected
+  /// Status for a firing error site, aborts for a firing panic site, sleeps
+  /// for a delay site, and returns OK otherwise (including for sites that
+  /// are not configured at all). Thread-safe.
+  Status Evaluate(const char* site);
+
+  /// Per-site counters, for tests and the obs bridge.
+  struct SiteStats {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+  SiteStats Stats(const std::string& site) const;
+
+  /// Invoked (outside the registry lock) every time a site fires, with the
+  /// site name, the 1-based hit number, and the action name ("error",
+  /// "panic", "delay"). The obs layer installs a bridge here so every
+  /// injected fault lands in the metrics registry and privacy ledger; see
+  /// obs/telemetry.h InstallFailpointObsBridge().
+  using Observer =
+      std::function<void(const char* site, uint64_t hit, const char* action)>;
+  void SetObserver(Observer observer);
+
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+ private:
+  enum class Action { kOff, kErrorAlways, kErrorAtHit, kErrorFirstN,
+                      kEveryNth, kPanic, kDelay };
+
+  struct Site {
+    Action action = Action::kOff;
+    uint64_t n = 0;  // the @N / *N / 1inN / delay-ms operand
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  static Status ParseAction(const std::string& text, Site* site);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  std::atomic<bool> armed_{false};
+  Observer observer_;
+};
+
+/// Evaluates the failpoint `site` (a string literal) and returns the
+/// injected error from the enclosing function when the site fires. Works in
+/// any function returning Status or Result<T>. Compiles to a relaxed load +
+/// branch when no failpoints are configured.
+#define BOLTON_FAILPOINT(site)                                       \
+  do {                                                               \
+    if (::bolton::FailpointRegistry::Default().armed()) {            \
+      ::bolton::Status _bolton_fp =                                  \
+          ::bolton::FailpointRegistry::Default().Evaluate(site);     \
+      if (!_bolton_fp.ok()) return _bolton_fp;                       \
+    }                                                                \
+  } while (false)
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_FAILPOINT_H_

@@ -2,8 +2,10 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +31,36 @@ sockaddr_in LoopbackAddr(uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline for a `timeout_ms` budget starting now; max() when unbounded.
+Clock::time_point DeadlineFor(int timeout_ms) {
+  if (timeout_ms < 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+/// Waits until `fd` is ready for `events` or the deadline passes.
+/// OK(true) = ready, OK(false) = deadline expired.
+Result<bool> WaitReady(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    int wait_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (remaining.count() <= 0) return false;
+      wait_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    pollfd p{fd, events, 0};
+    const int ready = ::poll(&p, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (ready > 0) return true;
+    if (deadline == Clock::time_point::max()) continue;
+  }
 }
 
 }  // namespace
@@ -73,12 +105,15 @@ Result<int> ConnectTcp(uint16_t port) {
   return fd;
 }
 
-Status SendAll(int fd, const char* data, size_t len) {
+Status SendAll(int fd, const char* data, size_t len, int timeout_ms) {
+  const Clock::time_point deadline = DeadlineFor(timeout_ms);
   size_t sent = 0;
   while (sent < len) {
+    BOLTON_ASSIGN_OR_RETURN(bool ready, WaitReady(fd, POLLOUT, deadline));
+    if (!ready) return Status::IOError("send timed out");
     ssize_t n = ::send(fd, data + sent, len - sent, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(n);
@@ -86,13 +121,16 @@ Status SendAll(int fd, const char* data, size_t len) {
   return Status::OK();
 }
 
-Result<std::string> RecvAll(int fd, size_t max_bytes) {
+Result<std::string> RecvAll(int fd, size_t max_bytes, int timeout_ms) {
+  const Clock::time_point deadline = DeadlineFor(timeout_ms);
   std::string out;
   char buf[4096];
   while (out.size() < max_bytes) {
+    BOLTON_ASSIGN_OR_RETURN(bool ready, WaitReady(fd, POLLIN, deadline));
+    if (!ready) return Status::IOError("recv timed out");
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return ErrnoStatus("recv");
     }
     if (n == 0) break;
@@ -101,14 +139,17 @@ Result<std::string> RecvAll(int fd, size_t max_bytes) {
   return out;
 }
 
-Result<std::string> RecvHttpHead(int fd, size_t max_bytes) {
+Result<std::string> RecvHttpHead(int fd, size_t max_bytes, int timeout_ms) {
+  const Clock::time_point deadline = DeadlineFor(timeout_ms);
   std::string out;
   char buf[1024];
   while (out.size() < max_bytes &&
          out.find("\r\n\r\n") == std::string::npos) {
+    BOLTON_ASSIGN_OR_RETURN(bool ready, WaitReady(fd, POLLIN, deadline));
+    if (!ready) return Status::IOError("recv timed out");
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return ErrnoStatus("recv");
     }
     if (n == 0) break;

@@ -26,16 +26,23 @@ Result<int> LocalPort(int fd);
 Result<int> ConnectTcp(uint16_t port);
 
 /// Writes all `len` bytes, retrying on short writes and EINTR.
-Status SendAll(int fd, const char* data, size_t len);
+/// `timeout_ms` >= 0 bounds the TOTAL wall time (poll-based deadline): a
+/// peer that stops reading yields IOError("... timed out") instead of
+/// wedging the caller forever. -1 keeps the historical blocking behavior.
+Status SendAll(int fd, const char* data, size_t len, int timeout_ms = -1);
 
 /// Reads until EOF or `max_bytes`, whichever comes first. Used by clients
 /// that scrape one response off a connection the server half-closes.
-Result<std::string> RecvAll(int fd, size_t max_bytes);
+/// `timeout_ms` >= 0 bounds the total wall time, as in SendAll.
+Result<std::string> RecvAll(int fd, size_t max_bytes, int timeout_ms = -1);
 
 /// Reads until the blank line terminating an HTTP request head ("\r\n\r\n")
 /// or until `max_bytes`/EOF. Bodies are not read: the observability
-/// endpoints are all GET.
-Result<std::string> RecvHttpHead(int fd, size_t max_bytes);
+/// endpoints are all GET. `timeout_ms` >= 0 bounds the total wall time, as
+/// in SendAll — a client that connects and goes silent cannot hold the
+/// server's accept loop hostage.
+Result<std::string> RecvHttpHead(int fd, size_t max_bytes,
+                                 int timeout_ms = -1);
 
 /// close(2) ignoring EINTR; safe on -1.
 void CloseFd(int fd);

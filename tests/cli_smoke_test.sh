@@ -123,6 +123,60 @@ if ! wait "$obs_pid"; then
   exit 1
 fi
 
+# Crash-safety: SIGKILL a checkpointed train mid-run, resume it, and demand
+# the final model match the uninterrupted run ($WORKDIR/ours.model above
+# used the same data, flags, and default seed) byte for byte — with exactly
+# one noise draw across the killed + resumed halves.
+ckptdir="$WORKDIR/ckpt"
+mkdir -p "$ckptdir"
+# The delay failpoint stretches every pass so the kill lands mid-train; it
+# never changes what the run computes.
+BOLTON_FAILPOINTS="psgd.pass:delay@750" "$CLI" train \
+    --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 4 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/resumed.model" \
+    --checkpoint-dir "$ckptdir" --checkpoint-every 1 \
+    > "$WORKDIR/killed.train.log" 2>&1 &
+train_pid=$!
+i=0
+while [ $i -lt 300 ]; do
+  [ -f "$ckptdir/bolton.ckpt" ] && break
+  i=$((i + 1))
+  sleep 0.05
+done
+if [ ! -f "$ckptdir/bolton.ckpt" ]; then
+  echo "no checkpoint appeared before the kill window closed" >&2
+  cat "$WORKDIR/killed.train.log" >&2
+  exit 1
+fi
+kill -9 "$train_pid" 2> /dev/null || true
+wait "$train_pid" 2> /dev/null || true
+if [ ! -f "$ckptdir/bolton.ckpt" ]; then
+  echo "checkpoint vanished after SIGKILL" >&2
+  exit 1
+fi
+
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 4 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/resumed.model" \
+    --checkpoint-dir "$ckptdir" --resume \
+    --ledger-out "$WORKDIR/resume.ledger.jsonl" \
+    > "$WORKDIR/resume.train.log"
+if ! cmp -s "$WORKDIR/ours.model" "$WORKDIR/resumed.model"; then
+  echo "resumed model differs from the uninterrupted run" >&2
+  exit 1
+fi
+noise_draws=$(grep -c '"kind":"noise_draw"' "$WORKDIR/resume.ledger.jsonl")
+if [ "$noise_draws" -ne 1 ]; then
+  echo "expected exactly 1 noise_draw across kill+resume, got $noise_draws" >&2
+  exit 1
+fi
+grep -q '"kind":"resume"' "$WORKDIR/resume.ledger.jsonl"
+if [ -f "$ckptdir/bolton.ckpt" ]; then
+  echo "checkpoint left behind after a successful resume" >&2
+  exit 1
+fi
+
 # Unknown subcommands and flags fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "unknown subcommand should fail" >&2

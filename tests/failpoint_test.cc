@@ -1,0 +1,172 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+/// Every test leaves the process-wide registry disarmed so failpoints
+/// configured here cannot leak into later tests (or vice versa).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Default().Clear();
+    FailpointRegistry::Default().SetObserver(nullptr);
+  }
+  void TearDown() override {
+    FailpointRegistry::Default().Clear();
+    FailpointRegistry::Default().SetObserver(nullptr);
+  }
+};
+
+/// A function body as production code sees it: the macro returns the
+/// injected Status from the enclosing function.
+Status GuardedStep(const char* site) {
+  BOLTON_FAILPOINT(site);
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, UnconfiguredRegistryIsDisarmedAndInert) {
+  EXPECT_FALSE(FailpointRegistry::Default().armed());
+  EXPECT_TRUE(GuardedStep("nowhere").ok());
+  // Disarmed registries don't even count hits (the macro's fast path).
+  EXPECT_EQ(FailpointRegistry::Default().Stats("nowhere").hits, 0u);
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
+  auto& registry = FailpointRegistry::Default();
+  EXPECT_FALSE(registry.Configure("no-colon").ok());
+  EXPECT_FALSE(registry.Configure(":error").ok());
+  EXPECT_FALSE(registry.Configure("site:").ok());
+  EXPECT_FALSE(registry.Configure("site:bogus").ok());
+  EXPECT_FALSE(registry.Configure("site:error@").ok());
+  EXPECT_FALSE(registry.Configure("site:error@0").ok());
+  EXPECT_FALSE(registry.Configure("site:1in-3").ok());
+  EXPECT_FALSE(registry.Configure("a:error;b:wat").ok());
+  // A failed Configure leaves the previous (empty) set armed-state intact.
+  EXPECT_FALSE(registry.armed());
+}
+
+TEST_F(FailpointTest, ConfigureReplacesAndEmptySpecClears) {
+  auto& registry = FailpointRegistry::Default();
+  ASSERT_TRUE(registry.Configure("a:error").ok());
+  EXPECT_TRUE(registry.armed());
+  EXPECT_FALSE(GuardedStep("a").ok());
+  // Reconfiguring replaces the whole site set (and resets counters).
+  ASSERT_TRUE(registry.Configure("b:error").ok());
+  EXPECT_TRUE(GuardedStep("a").ok());
+  EXPECT_FALSE(GuardedStep("b").ok());
+  ASSERT_TRUE(registry.Configure("").ok());
+  EXPECT_FALSE(registry.armed());
+}
+
+TEST_F(FailpointTest, ErrorAlwaysFiresEveryHitWithContext) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("io:error").ok());
+  for (int i = 1; i <= 3; ++i) {
+    Status status = GuardedStep("io");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+    EXPECT_NE(status.message().find("failpoint 'io'"), std::string::npos);
+  }
+  EXPECT_EQ(FailpointRegistry::Default().Stats("io").hits, 3u);
+  EXPECT_EQ(FailpointRegistry::Default().Stats("io").fired, 3u);
+}
+
+TEST_F(FailpointTest, ErrorAtHitFiresOnlyOnTheNthHit) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:error@3").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_FALSE(GuardedStep("s").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_EQ(FailpointRegistry::Default().Stats("s").fired, 1u);
+}
+
+TEST_F(FailpointTest, ErrorFirstNFiresThenRecovers) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:error*2").ok());
+  EXPECT_FALSE(GuardedStep("s").ok());
+  EXPECT_FALSE(GuardedStep("s").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+}
+
+TEST_F(FailpointTest, OneInNIsCounterBasedNotRandom) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:1in3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!GuardedStep("s").ok());
+  // Hits 3, 6, 9 — deterministic, so a failing run replays identically.
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FailpointTest, DeterministicAcrossReconfiguration) {
+  auto trace = [] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 8; ++i) fired.push_back(!GuardedStep("s").ok());
+    return fired;
+  };
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:1in2").ok());
+  std::vector<bool> first = trace();
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:1in2").ok());
+  EXPECT_EQ(first, trace());
+}
+
+TEST_F(FailpointTest, DelaySleepsAndReturnsOk) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:delay@20").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedStep("s").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 20);
+  EXPECT_EQ(FailpointRegistry::Default().Stats("s").fired, 1u);
+}
+
+TEST_F(FailpointTest, OffCountsHitsWithoutFiring) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:off").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_EQ(FailpointRegistry::Default().Stats("s").hits, 2u);
+  EXPECT_EQ(FailpointRegistry::Default().Stats("s").fired, 0u);
+}
+
+TEST_F(FailpointTest, ObserverSeesEveryFiring) {
+  struct Firing {
+    std::string site;
+    uint64_t hit;
+    std::string action;
+  };
+  static std::vector<Firing>* firings = new std::vector<Firing>();
+  firings->clear();
+  FailpointRegistry::Default().SetObserver(
+      [](const char* site, uint64_t hit, const char* action) {
+        firings->push_back({site, hit, action});
+      });
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:error@2").ok());
+  EXPECT_TRUE(GuardedStep("s").ok());
+  EXPECT_FALSE(GuardedStep("s").ok());
+  ASSERT_EQ(firings->size(), 1u);
+  EXPECT_EQ((*firings)[0].site, "s");
+  EXPECT_EQ((*firings)[0].hit, 2u);
+  EXPECT_EQ((*firings)[0].action, "error");
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsTheVariable) {
+  ASSERT_EQ(::setenv("BOLTON_FAILPOINTS", "envsite:error", 1), 0);
+  ASSERT_TRUE(FailpointRegistry::Default().ConfigureFromEnv().ok());
+  EXPECT_FALSE(GuardedStep("envsite").ok());
+  ASSERT_EQ(::unsetenv("BOLTON_FAILPOINTS"), 0);
+  ASSERT_TRUE(FailpointRegistry::Default().ConfigureFromEnv().ok());
+  EXPECT_FALSE(FailpointRegistry::Default().armed());
+}
+
+TEST_F(FailpointTest, PanicAborts) {
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("s:panic").ok());
+  EXPECT_DEATH((void)GuardedStep("s"), "injected panic");
+}
+
+}  // namespace
+}  // namespace bolton

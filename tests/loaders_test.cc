@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/failpoint.h"
+
 namespace bolton {
 namespace {
 
@@ -129,6 +131,97 @@ TEST_F(LoadersTest, CsvMulticlassKeepsClassIds) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded.value().num_classes(), 3);
   EXPECT_EQ(loaded.value()[2].label, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness regressions: malformed rows must fail with row/column context
+// instead of silently skipping, and non-finite values must never reach the
+// gradient path.
+// ---------------------------------------------------------------------------
+
+TEST_F(LoadersTest, LibsvmRejectsNonFiniteValuesWithLineContext) {
+  // strtod happily parses these; the loader must not.
+  for (const char* bad : {"1 1:nan\n", "1 1:inf\n", "1 1:-inf\n"}) {
+    WriteFile(bad);
+    auto loaded = LoadLibsvm(path_);
+    ASSERT_FALSE(loaded.ok()) << bad;
+    EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos)
+        << loaded.status().ToString();
+    EXPECT_NE(loaded.status().message().find("non-finite"),
+              std::string::npos);
+  }
+  // The line number counts physical lines, comments included.
+  WriteFile("# comment\n1 1:0.5\n1 2:nan\n");
+  auto loaded = LoadLibsvm(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(LoadersTest, LibsvmRejectsNonFiniteLabel) {
+  WriteFile("nan 1:0.5\n");
+  EXPECT_FALSE(LoadLibsvm(path_).ok());
+}
+
+TEST_F(LoadersTest, CsvRejectsNonFiniteValuesWithRowColumnContext) {
+  WriteFile("0.5,1.5,1\n0.25,nan,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2, column 2"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("non-finite"), std::string::npos);
+
+  WriteFile("inf,1\n");
+  EXPECT_FALSE(LoadCsv(path_).ok());
+}
+
+TEST_F(LoadersTest, CsvMalformedDataRowErrorsInsteadOfSilentSkip) {
+  // The first row carries numeric fields, so it is DATA with a bad column —
+  // the old header heuristic silently dropped it.
+  WriteFile("0.5,oops,1\n0.25,0.75,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1, column 2"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("non-numeric"), std::string::npos);
+}
+
+TEST_F(LoadersTest, CsvMalformedLaterRowReportsRowAndColumn) {
+  WriteFile("f1,f2,label\n0.5,1.5,1\n0.25,zebra,0\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3, column 2"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(LoadersTest, CsvStillSkipsAllTextHeader) {
+  // A genuine header (no numeric field) on row one is still skipped; a
+  // second header-looking row is an error.
+  WriteFile("alpha,beta,label\n1.0,2.0,1\n");
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 1u);
+
+  WriteFile("alpha,beta,label\nalpha,beta,label\n1.0,2.0,1\n");
+  EXPECT_FALSE(LoadCsv(path_).ok());
+}
+
+TEST_F(LoadersTest, LoaderFailpointsInjectIOErrors) {
+  WriteFile("1 1:0.5\n-1 2:0.25\n");
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("loader.open:error").ok());
+  auto open_fail = LoadLibsvm(path_);
+  ASSERT_FALSE(open_fail.ok());
+  EXPECT_EQ(open_fail.status().code(), StatusCode::kIOError);
+  EXPECT_NE(open_fail.status().message().find("failpoint"),
+            std::string::npos);
+
+  // "1in2" fires on the second data row of this file.
+  ASSERT_TRUE(FailpointRegistry::Default().Configure("loader.row:1in2").ok());
+  EXPECT_FALSE(LoadLibsvm(path_).ok());
+  FailpointRegistry::Default().Clear();
+  EXPECT_TRUE(LoadLibsvm(path_).ok());
 }
 
 }  // namespace

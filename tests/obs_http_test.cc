@@ -304,6 +304,47 @@ TEST_F(ObsHttpTest, ScrapesWhileRecordingThreadsAreHot) {
   EXPECT_NE(response.body.find("hot_counter"), std::string::npos);
 }
 
+TEST_F(ObsHttpTest, SilentClientIsDroppedAndServerStaysResponsive) {
+  // A slow-loris peer: connects, never sends a byte. With a short
+  // per-connection deadline the server must hang up on it and keep
+  // serving other clients instead of wedging its accept loop.
+  auto short_server = ObsServer::Start(0, /*io_timeout_ms=*/100);
+  ASSERT_TRUE(short_server.ok()) << short_server.status().ToString();
+  const int port = short_server.value()->port();
+
+  auto silent = net::ConnectTcp(static_cast<uint16_t>(port));
+  ASSERT_TRUE(silent.ok());
+  // The server drops us without an answer: EOF, not a 2s client timeout.
+  auto nothing = net::RecvAll(silent.value(), 1 << 20, /*timeout_ms=*/2000);
+  net::CloseFd(silent.value());
+  ASSERT_TRUE(nothing.ok()) << nothing.status().ToString();
+  EXPECT_TRUE(nothing.value().empty());
+
+  // And the next client is served normally.
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+}
+
+TEST_F(ObsHttpTest, UnterminatedOversizedHeadIsRejectedWith400) {
+  auto fd = net::ConnectTcp(static_cast<uint16_t>(server_->port()));
+  ASSERT_TRUE(fd.ok());
+  // 17 KiB of header with no terminating blank line: over the 16 KiB cap.
+  std::string junk = "GET /metrics HTTP/1.0\r\nX-Junk: ";
+  junk.append(17 * 1024, 'a');
+  ASSERT_TRUE(
+      net::SendAll(fd.value(), junk.data(), junk.size(), 5000).ok());
+  auto response = net::RecvAll(fd.value(), 1 << 20, /*timeout_ms=*/5000);
+  net::CloseFd(fd.value());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response.value().find("400"), std::string::npos)
+      << response.value();
+  EXPECT_NE(response.value().find("exceeds"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, StartRejectsNonPositiveIoTimeout) {
+  EXPECT_FALSE(ObsServer::Start(0, 0).ok());
+  EXPECT_FALSE(ObsServer::Start(0, -5).ok());
+}
+
 TEST_F(ObsHttpTest, StopIsIdempotentAndFreesThePort) {
   const int port = server_->port();
   server_->Stop();

@@ -13,6 +13,7 @@
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "optim/schedule.h"
+#include "util/failpoint.h"
 
 namespace bolton {
 namespace {
@@ -266,6 +267,106 @@ TEST(ParallelExecutorTest, ShardedBoltOnRecordsLedgerAccounting) {
   }
   EXPECT_TRUE(found);
   obs::PrivacyLedger::Default().Clear();
+}
+
+TEST(ParallelExecutorTest, InjectedShardFaultRecoversViaRetryBitIdentically) {
+  Dataset data = MakeTrainingSet(90);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 3;
+  options.shards = 3;
+
+  Rng clean_rng(53);
+  auto clean = RunShardedPsgd(data, *loss, *schedule, options, &clean_rng);
+  ASSERT_TRUE(clean.ok());
+
+  // The first two shard attempts of the whole run fail (max_threads = 1
+  // makes the hit order deterministic: shard 0's first two attempts), then
+  // the failpoint goes quiet and the retry budget recovers the run.
+  ASSERT_TRUE(
+      FailpointRegistry::Default().Configure("shard.worker:error*2").ok());
+  ShardRetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_base_ms = 1;  // exercise the backoff+jitter path cheaply
+  retry.jitter_frac = 0.5;
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Default().Reset();
+  Rng faulty_rng(53);
+  auto recovered = RunShardedPsgd(data, *loss, *schedule, options,
+                                  &faulty_rng, /*max_threads=*/1, retry);
+  FailpointRegistry::Default().Clear();
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // A retried success is bit-identical: every attempt re-seeds the shard
+  // rng from the same counter-based seed.
+  EXPECT_EQ(clean.value().model, recovered.value().model);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetCounter("psgd.shard_retries")
+                ->Value(),
+            2u);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetCounter("psgd.shard_redispatches")
+                ->Value(),
+            0u);
+}
+
+TEST(ParallelExecutorTest, ExhaustedRetriesFailTheRunNeverPartialAverage) {
+  obs::PrivacyLedger::Default().Clear();
+  obs::PrivacyLedger::Default().SetEnabled(true);
+  Dataset data = MakeTrainingSet(60);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 1;
+  options.shards = 2;
+
+  // Every attempt fails: retries, then the degradation re-dispatch, must
+  // all be exhausted and the whole release must be refused (Lemma 10
+  // calibrates the average to ALL shards; a partial average is never
+  // privacy-sound).
+  ASSERT_TRUE(
+      FailpointRegistry::Default().Configure("shard.worker:error").ok());
+  ShardRetryPolicy retry;
+  retry.max_attempts = 2;
+  Rng rng(59);
+  auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng,
+                            /*max_threads=*/1, retry);
+  FailpointRegistry::Default().Clear();
+  obs::PrivacyLedger::Default().SetEnabled(false);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kIOError);
+  EXPECT_NE(
+      run.status().message().find("refusing to average a partial run"),
+      std::string::npos)
+      << run.status().ToString();
+
+  // Every recovery action left an audit event.
+  size_t retry_events = 0, redispatch_events = 0;
+  for (const obs::LedgerEvent& event :
+       obs::PrivacyLedger::Default().Snapshot()) {
+    if (event.kind != "retry") continue;
+    if (event.label.find("psgd.shard_retry") == 0) ++retry_events;
+    if (event.label.find("psgd.shard_redispatch") == 0) ++redispatch_events;
+  }
+  EXPECT_GE(retry_events, 2u);
+  EXPECT_EQ(redispatch_events, 2u);
+  obs::PrivacyLedger::Default().Clear();
+}
+
+TEST(ParallelExecutorTest, RetryPolicyValidatesMaxAttempts) {
+  Dataset data = MakeTrainingSet(20);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.shards = 2;
+  ShardRetryPolicy retry;
+  retry.max_attempts = 0;
+  Rng rng(61);
+  EXPECT_FALSE(RunShardedPsgd(data, *loss, *schedule, options, &rng,
+                              /*max_threads=*/0, retry)
+                   .ok());
 }
 
 }  // namespace

@@ -9,10 +9,13 @@
 // `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
 // generates one of the built-in synthetic stand-ins instead. Multiclass
 // datasets train one-vs-all automatically.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "core/checkpoint.h"
 #include "data/loaders.h"
 #include "data/projection.h"
 #include "data/synthetic.h"
@@ -100,6 +103,9 @@ int Train(int argc, char** argv) {
   bool metrics = false;
   std::string trace_out, ledger_out;
   int64_t serve_obs = -1, serve_obs_linger = 0;
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 1;
+  bool resume = false;
 
   FlagParser parser;
   AddDataFlags(&parser, &data_flags);
@@ -126,6 +132,14 @@ int Train(int argc, char** argv) {
   parser.AddInt("serve-obs-linger", &serve_obs_linger,
                 "after training, keep the obs server up this many ms "
                 "(or until GET /quitquitquit)");
+  parser.AddString("checkpoint-dir", &checkpoint_dir,
+                   "write pass-boundary training checkpoints into this "
+                   "existing directory (binary serial noiseless/ours only)");
+  parser.AddInt("checkpoint-every", &checkpoint_every,
+                "checkpoint after every N completed passes");
+  parser.AddBool("resume", &resume,
+                 "continue from the checkpoint in --checkpoint-dir instead "
+                 "of starting fresh");
   parser.Parse(argc, argv).CheckOK();
   if (parser.help_requested()) {
     parser.PrintHelp("boltondp train");
@@ -135,6 +149,9 @@ int Train(int argc, char** argv) {
   if (metrics) obs::SetMetricsEnabled(true);
   if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
   if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
+  // Injected faults (BOLTON_FAILPOINTS) show up in the metrics snapshot and
+  // the privacy ledger; free when no failpoint is armed.
+  obs::InstallFailpointObsBridge();
 
   std::unique_ptr<obs::ObsServer> obs_server;
   if (serve_obs >= 0) {
@@ -166,7 +183,35 @@ int Train(int argc, char** argv) {
 
   Rng rng(data_flags.seed + 2);
   Stopwatch watch;
-  if (data.value().num_classes() > 2) {
+  if (!checkpoint_dir.empty()) {
+    // Crash-safe path: same model as the plain run (checkpointing only
+    // observes pass boundaries), but a SIGKILL mid-train can be resumed
+    // with --resume for a bit-identical released model.
+    if (data.value().num_classes() > 2) {
+      std::fprintf(stderr,
+                   "--checkpoint-dir supports binary models only\n");
+      return 1;
+    }
+    auto loss = MakeLossForConfig(config);
+    loss.status().CheckOK();
+    CheckpointOptions ckpt;
+    ckpt.dir = checkpoint_dir;
+    ckpt.every_passes = static_cast<size_t>(checkpoint_every);
+    ckpt.resume = resume;
+    auto run = RunSolverWithCheckpoints(config.algorithm, data.value(),
+                                        *loss.value(), SolverSpecForConfig(config),
+                                        &rng, ckpt);
+    run.status().CheckOK();
+    SaveModel(run.value().model, model_path).CheckOK();
+    std::printf("trained binary %s model with %s in %.2fs%s -> %s\n",
+                model_kind.c_str(), AlgorithmName(config.algorithm),
+                watch.ElapsedSeconds(), resume ? " (resumed)" : "",
+                model_path.c_str());
+    std::printf("train %s\n",
+                ComputeBinaryStats(run.value().model, data.value())
+                    .ToString()
+                    .c_str());
+  } else if (data.value().num_classes() > 2) {
     auto model = TrainMulticlass(data.value(), config, &rng);
     model.status().CheckOK();
     SaveModel(model.value(), model_path).CheckOK();
@@ -232,17 +277,62 @@ int Scrape(int argc, char** argv) {
     return 0;
   }
 
-  auto fd = net::ConnectTcp(static_cast<uint16_t>(port));
-  fd.status().CheckOK();
   const std::string request = StrFormat(
       "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
       path.c_str());
-  net::SendAll(fd.value(), request.data(), request.size()).CheckOK();
-  auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024);
-  net::CloseFd(fd.value());
-  response.status().CheckOK();
 
-  const std::string& text = response.value();
+  // The server may still be binding (the smoke test races it) or wedged;
+  // retry refused connections and timeouts a bounded number of times with
+  // exponential backoff before declaring the scrape dead.
+  constexpr int kAttempts = 3;
+  constexpr int kBackoffBaseMs = 200;
+  constexpr int kIoTimeoutMs = 5000;
+  Rng jitter_rng(static_cast<uint64_t>(port) ^ 0x626f6c746f6e6a74ull);
+  Status last_error = Status::OK();
+  std::string text;
+  bool have_response = false;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    if (attempt > 1) {
+      const int64_t base_ms = static_cast<int64_t>(kBackoffBaseMs)
+                              << (attempt - 2);
+      const int64_t sleep_ms = static_cast<int64_t>(
+          static_cast<double>(base_ms) * jitter_rng.UniformDouble(1.0, 1.5));
+      std::fprintf(stderr,
+                   "scrape attempt %d/%d failed (%s); retrying in %lldms\n",
+                   attempt - 1, kAttempts, last_error.message().c_str(),
+                   static_cast<long long>(sleep_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    auto fd = net::ConnectTcp(static_cast<uint16_t>(port));
+    if (!fd.ok()) {
+      last_error = fd.status();
+      continue;
+    }
+    Status sent =
+        net::SendAll(fd.value(), request.data(), request.size(), kIoTimeoutMs);
+    if (!sent.ok()) {
+      last_error = sent;
+      net::CloseFd(fd.value());
+      continue;
+    }
+    auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024, kIoTimeoutMs);
+    net::CloseFd(fd.value());
+    if (!response.ok()) {
+      last_error = response.status();
+      continue;
+    }
+    text = response.MoveValue();
+    have_response = true;
+    break;
+  }
+  if (!have_response) {
+    std::fprintf(stderr,
+                 "scrape: giving up on 127.0.0.1:%lld%s after %d attempts: "
+                 "%s\n",
+                 static_cast<long long>(port), path.c_str(), kAttempts,
+                 last_error.message().c_str());
+    return 1;
+  }
   const size_t body_at = text.find("\r\n\r\n");
   const std::string head =
       body_at == std::string::npos ? text : text.substr(0, body_at);

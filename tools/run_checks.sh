@@ -45,7 +45,7 @@ CLI="$BUILD/tools/boltondp"
 # Every ledger line must be one JSON object carrying the full event schema.
 awk '
   !/^\{"seq":[0-9]+,/ || !/\}$/ { bad = 1 }
-  !/"kind":"(noise_draw|accountant_charge|calibration)"/ { bad = 1 }
+  !/"kind":"(noise_draw|accountant_charge|calibration|fault|retry|checkpoint|resume)"/ { bad = 1 }
   !/"epsilon":/ || !/"sensitivity":/ || !/"noise_norm":/ { bad = 1 }
   !/"rng_fingerprint":/ || !/"accepted":(true|false)/ { bad = 1 }
   bad { print "malformed ledger line " NR ": " $0; exit 1 }
@@ -82,6 +82,38 @@ port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
 "$CLI" scrape --port "$port" --path /quitquitquit > /dev/null
 wait "$obs_pid"
 
+echo "== fault-injection pass (failpoints + checkpoint/resume, sanitized) =="
+# An armed failpoint must abort the run with a clean injected error while
+# leaving a resumable checkpoint behind. --ledger-out enables the ledger so
+# the interrupted run's calibration survives into the checkpoint snapshot
+# (the file itself is never written on the failing run).
+CKPT="$WORKDIR/ckpt"
+mkdir -p "$CKPT"
+if BOLTON_FAILPOINTS="psgd.pass:error@3" "$CLI" train \
+    --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 2 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/fault_model.txt" \
+    --checkpoint-dir "$CKPT" --checkpoint-every 1 \
+    --ledger-out "$WORKDIR/fault_ledger.jsonl" \
+    > "$WORKDIR/fault.log" 2>&1; then
+  echo "train with armed failpoint unexpectedly succeeded"; exit 1
+fi
+grep -q "failpoint 'psgd.pass'" "$WORKDIR/fault.log"
+[ -f "$CKPT/bolton.ckpt" ] || { echo "no checkpoint left behind"; exit 1; }
+# Resume must finish the run and carry the whole fault-tolerance trail:
+# the restored calibration, checkpoint + resume markers, and exactly one
+# noise draw for the entire (interrupted + resumed) release.
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 2 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/fault_model.txt" \
+    --checkpoint-dir "$CKPT" --resume \
+    --ledger-out "$WORKDIR/fault_ledger.jsonl" > /dev/null
+grep -q '"kind":"resume"' "$WORKDIR/fault_ledger.jsonl"
+grep -q '"kind":"checkpoint"' "$WORKDIR/fault_ledger.jsonl"
+[ "$(grep -c '"kind":"calibration"' "$WORKDIR/fault_ledger.jsonl")" -eq 1 ]
+[ "$(grep -c '"kind":"noise_draw"' "$WORKDIR/fault_ledger.jsonl")" -eq 1 ]
+[ ! -f "$CKPT/bolton.ckpt" ] || { echo "checkpoint not cleaned up"; exit 1; }
+
 echo "== ThreadSanitizer pass (obs server, registries, sharded executor) =="
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -90,9 +122,10 @@ cmake -S "$ROOT" -B "$TSAN_BUILD" \
   > "$TSAN_BUILD.configure.log" 2>&1 || { cat "$TSAN_BUILD.configure.log"; exit 1; }
 cmake --build "$TSAN_BUILD" -j \
   -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
-  -t parallel_executor_test -t solver_test
+  -t parallel_executor_test -t solver_test \
+  -t failpoint_test -t checkpoint_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^(obs_(metrics|ledger|export|http)|parallel_executor|solver)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|parallel_executor|solver|failpoint|checkpoint)_test$'
 
 echo "== bench regression gate (parallel scaling vs BENCH_PR4.json) =="
 # Gate only when python3 and the baseline are available (the baseline rows
