@@ -8,6 +8,7 @@
 
 #include <map>
 
+#include "bench/bench_common.h"
 #include "data/sparse_dataset.h"
 #include "data/synthetic.h"
 #include "optim/loss.h"
@@ -91,4 +92,16 @@ BENCHMARK(BM_SparsePsgd)->Arg(100)->Arg(1000)->Arg(10000)->MinTime(0.1)
 }  // namespace
 }  // namespace bolton
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so BOLTON_PROFILE=HZ can sample the run (the
+// collapsed profile lands in BOLTON_PROFILE_OUT, default
+// bench_profile.collapsed).
+int main(int argc, char** argv) {
+  bolton::bench::EnableTelemetryFromEnv();
+  bolton::bench::EnableProfilerFromEnv();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bolton::bench::FinishProfilerFromEnv();
+  return 0;
+}

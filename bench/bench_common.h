@@ -19,9 +19,11 @@
 #include "data/synthetic.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "obs/export.h"
 #include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -178,6 +180,7 @@ inline double TimedSeconds(const char* name, Fn&& fn) {
 inline void DumpTelemetry(bool metrics, const std::string& trace_out,
                           const std::string& ledger_out) {
   if (metrics) {
+    obs::UpdateProcessMemoryGauges();
     std::fprintf(stderr, "%s",
                  obs::MetricsRegistry::Default().Snapshot().ToText().c_str());
   }
@@ -229,6 +232,63 @@ inline bool EnableTelemetryFromEnv() {
   return enabled;
 }
 
+/// BOLTON_PROFILE=HZ starts the in-process sampling profiler for the whole
+/// bench run (1 means "on at the default 97 Hz"; any other value in
+/// [2, 1000] is the frequency). Returns whether it started, so main can
+/// FinishProfilerFromEnv at shutdown. While the profiler runs, every
+/// AddBenchResult row carries a compact profile summary of its window —
+/// that is how boltondp-bench-v1 baselines pick up per-configuration
+/// profiles for tools/benchdiff.py.
+inline bool EnableProfilerFromEnv() {
+  const char* env = std::getenv("BOLTON_PROFILE");
+  if (env == nullptr || env[0] == '\0') return false;
+  auto hz = ParseInt(env);
+  if (!hz.ok() || hz.value() <= 0) return false;
+  obs::ProfilerOptions options;
+  if (hz.value() > 1) options.hz = static_cast<int>(hz.value());
+  Status status = obs::Profiler::Default().Start(options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "BOLTON_PROFILE ignored: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "profiler sampling at %dHz (BOLTON_PROFILE)\n",
+               options.hz);
+  return true;
+}
+
+/// Stops a running profiler and writes the whole-run collapsed-stack
+/// profile to `out_override`, or — when empty — to BOLTON_PROFILE_OUT
+/// (default "bench_profile.collapsed" in the working directory).
+inline void FinishProfiler(const std::string& out_override = "") {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  if (!profiler.running()) return;
+  profiler.Stop().CheckOK();
+  const obs::ProfileDump dump = profiler.Dump();
+  std::string out = out_override;
+  if (out.empty()) {
+    const char* out_env = std::getenv("BOLTON_PROFILE_OUT");
+    out = (out_env != nullptr && out_env[0] != '\0')
+              ? out_env
+              : "bench_profile.collapsed";
+  }
+  Status status =
+      obs::internal::WriteStringToFile(out, obs::RenderCollapsed(dump));
+  if (!status.ok()) {
+    std::fprintf(stderr, "profile export failed: %s\n",
+                 status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "wrote profile (%llu samples @ %dHz, %.0f%% symbolized, "
+               "%llu dropped) -> %s\n",
+               static_cast<unsigned long long>(dump.samples), dump.hz,
+               dump.leaf_symbolized_fraction * 100.0,
+               static_cast<unsigned long long>(dump.dropped), out.c_str());
+}
+
+inline void FinishProfilerFromEnv() { FinishProfiler(); }
+
 /// -------- Machine-readable bench results (the perf-trajectory pipeline)
 ///
 /// Benches accumulate one row per measured configuration; `--json-out=FILE`
@@ -245,6 +305,11 @@ struct BenchResultRow {
   double wall_seconds = 0.0; // < 0 when not measured
   double rows_per_sec = 0.0; // examples processed per second; 0 = n/a
   double accuracy = -1.0;    // test accuracy; < 0 = n/a
+  /// Pre-rendered boltondp-profile-v1 JSON object for the samples taken
+  /// since the previous row was recorded; empty when the profiler was not
+  /// running. Emitted as the row's optional "profile" field — old
+  /// baselines without it still merge/diff cleanly.
+  std::string profile_json;
 };
 
 inline std::vector<BenchResultRow>& BenchResults() {
@@ -252,7 +317,23 @@ inline std::vector<BenchResultRow>& BenchResults() {
   return *rows;
 }
 
+/// Frames kept in a per-row profile summary; rows stay compact because a
+/// baseline file accumulates hundreds of them.
+constexpr size_t kRowProfileTopFrames = 5;
+
 inline void AddBenchResult(BenchResultRow row) {
+  obs::Profiler& profiler = obs::Profiler::Default();
+  if (profiler.running() && row.profile_json.empty()) {
+    // Attribute the samples since the last row to this row: benches record
+    // a row right after measuring it, so the window between AddBenchResult
+    // calls is exactly the row's work.
+    static size_t next_from = 0;
+    const size_t mark = profiler.sample_count();
+    row.profile_json =
+        obs::RenderProfileSummaryJson(profiler.Dump(next_from),
+                                      kRowProfileTopFrames);
+    next_from = mark;
+  }
   BenchResults().push_back(std::move(row));
 }
 
@@ -265,10 +346,16 @@ inline std::string BenchResultsToJson() {
     out += StrFormat(
         "\n {\"figure\":\"%s\",\"name\":\"%s\",\"dataset\":\"%s\","
         "\"algo\":\"%s\",\"epsilon\":%.17g,\"wall_seconds\":%.17g,"
-        "\"rows_per_sec\":%.17g,\"accuracy\":%.17g}",
+        "\"rows_per_sec\":%.17g,\"accuracy\":%.17g",
         obs::JsonEscape(r.figure).c_str(), obs::JsonEscape(r.name).c_str(),
         obs::JsonEscape(r.dataset).c_str(), obs::JsonEscape(r.algo).c_str(),
         r.epsilon, r.wall_seconds, r.rows_per_sec, r.accuracy);
+    if (!r.profile_json.empty()) {
+      // Already-rendered JSON object; embedded verbatim, not re-escaped.
+      out += ",\"profile\":";
+      out += r.profile_json;
+    }
+    out += "}";
   }
   out += "\n]}\n";
   return out;
@@ -285,6 +372,8 @@ struct CommonFlags {
   std::string ledger_out;
   std::string json_out;
   int64_t serve_obs = -1;
+  std::string profile_out;
+  int64_t profile_hz = 0;
 
   Status Parse(int argc, char** argv, const char* program) {
     FlagParser parser;
@@ -305,6 +394,13 @@ struct CommonFlags {
     parser.AddInt("serve-obs", &serve_obs,
                   "serve live observability HTTP on 127.0.0.1:PORT for the "
                   "run (0 = ephemeral, -1 = off)");
+    parser.AddString("profile-out", &profile_out,
+                     "sample the whole run and write a collapsed-stack "
+                     "profile here; rows in --json-out gain per-row "
+                     "profile summaries");
+    parser.AddInt("profile-hz", &profile_hz,
+                  "per-thread sampling frequency for --profile-out "
+                  "(0 = the 97Hz default)");
     BOLTON_RETURN_IF_ERROR(parser.Parse(argc, argv));
     if (parser.help_requested()) {
       parser.PrintHelp(program);
@@ -320,6 +416,13 @@ struct CommonFlags {
       std::fprintf(stderr, "obs server listening on 127.0.0.1:%d\n",
                    obs::DefaultObsServer()->port());
     }
+    if (!profile_out.empty() || profile_hz > 0) {
+      obs::ProfilerOptions options;
+      if (profile_hz > 0) options.hz = static_cast<int>(profile_hz);
+      BOLTON_RETURN_IF_ERROR(obs::Profiler::Default().Start(options));
+    } else {
+      EnableProfilerFromEnv();
+    }
     return Status::OK();
   }
 
@@ -329,6 +432,7 @@ struct CommonFlags {
 
   /// Every bench exports on exit without per-binary dump code.
   ~CommonFlags() {
+    FinishProfiler(profile_out);  // no-op when the profiler never started
     DumpTelemetry(metrics, trace_out, ledger_out);
     if (!json_out.empty()) {
       Status status =

@@ -145,10 +145,14 @@ int main(int argc, char** argv) {
   // BOLTON_TELEMETRY=1 enables the obs pillars for a profiling run; left
   // off, instrumentation inside the timed loops is a branch per call site.
   const bool telemetry = bolton::bench::EnableTelemetryFromEnv();
+  // BOLTON_PROFILE=HZ samples the whole run; the collapsed profile lands in
+  // BOLTON_PROFILE_OUT (default bench_profile.collapsed).
+  bolton::bench::EnableProfilerFromEnv();
   bolton::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bolton::bench::FinishProfilerFromEnv();
   if (telemetry) {
     bolton::bench::DumpTelemetry(true, "bench_fig5.trace.jsonl",
                                  "bench_fig5.ledger.jsonl");

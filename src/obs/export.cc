@@ -1,6 +1,9 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "obs/telemetry.h"
 #include "util/strings.h"
@@ -188,6 +191,71 @@ LedgerTotals SummarizeLedger(const std::vector<LedgerEvent>& events) {
     }
   }
   return totals;
+}
+
+std::string RenderCollapsed(const ProfileDump& dump) {
+  std::string out;
+  for (const ProfileStack& stack : dump.stacks) {
+    std::string line;
+    for (const std::string& frame : stack.frames) {
+      if (!line.empty()) line += ';';
+      for (char c : frame) line += c == ';' ? ',' : c;
+    }
+    out += line;
+    out += StrFormat(" %llu\n", static_cast<unsigned long long>(stack.count));
+  }
+  return out;
+}
+
+std::string RenderProfileSummaryJson(const ProfileDump& dump, size_t top_n) {
+  // Per-frame self/total sample counts over the aggregated stacks.
+  struct FrameAgg {
+    uint64_t self = 0;
+    uint64_t total = 0;
+  };
+  std::map<std::string, FrameAgg> frames;
+  for (const ProfileStack& stack : dump.stacks) {
+    std::map<std::string, bool> seen;  // count a frame once per stack
+    for (const std::string& frame : stack.frames) {
+      if (seen.emplace(frame, true).second) frames[frame].total += stack.count;
+    }
+    if (!stack.frames.empty()) frames[stack.frames.back()].self += stack.count;
+  }
+  std::vector<std::pair<std::string, FrameAgg>> ranked(frames.begin(),
+                                                       frames.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    if (a.second.total != b.second.total) return a.second.total > b.second.total;
+    return a.first < b.first;
+  });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+
+  const double total =
+      dump.samples > 0 ? static_cast<double>(dump.samples) : 1.0;
+  std::string out = StrFormat(
+      "{\"schema\":\"boltondp-profile-v1\",\"hz\":%d,\"samples\":%llu,"
+      "\"dropped\":%llu,\"duration_ns\":%llu,"
+      "\"leaf_symbolized_pct\":%.2f,\"any_symbolized_pct\":%.2f,"
+      "\"frames\":[",
+      dump.hz, static_cast<unsigned long long>(dump.samples),
+      static_cast<unsigned long long>(dump.dropped),
+      static_cast<unsigned long long>(dump.duration_ns),
+      100.0 * dump.leaf_symbolized_fraction,
+      100.0 * dump.any_symbolized_fraction);
+  bool first = true;
+  for (const auto& [name, agg] : ranked) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"self\":%llu,\"self_pct\":%.2f,"
+        "\"total\":%llu,\"total_pct\":%.2f}",
+        JsonEscape(name).c_str(), static_cast<unsigned long long>(agg.self),
+        100.0 * static_cast<double>(agg.self) / total,
+        static_cast<unsigned long long>(agg.total),
+        100.0 * static_cast<double>(agg.total) / total);
+  }
+  out += "]}";
+  return out;
 }
 
 std::string RenderSpanJson(const SpanRecord& s) {

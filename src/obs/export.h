@@ -6,6 +6,7 @@
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bolton {
@@ -64,6 +65,21 @@ struct LedgerTotals {
 };
 
 LedgerTotals SummarizeLedger(const std::vector<LedgerEvent>& events);
+
+/// -------- Profiles --------
+
+/// Brendan Gregg collapsed-stack format: one line per distinct stack,
+/// root-first frames joined by ';', a space, then the sample count —
+/// pipeable straight into flamegraph.pl. Semicolons inside demangled frame
+/// names are rewritten to ',' so they cannot split a frame.
+std::string RenderCollapsed(const ProfileDump& dump);
+
+/// Aggregated top-N-frames JSON (schema "boltondp-profile-v1"): run
+/// metadata (hz, samples, dropped, duration, symbolization fractions) plus
+/// the `top_n` hottest frames by self time, each with self/total sample
+/// counts and percentages. Self time = samples where the frame is the leaf;
+/// total = samples where it appears anywhere (once per sample).
+std::string RenderProfileSummaryJson(const ProfileDump& dump, size_t top_n);
 
 /// -------- Trace spans --------
 

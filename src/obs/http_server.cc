@@ -4,13 +4,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/export.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/net.h"
@@ -33,6 +36,8 @@ std::string StatusLine(int http_status) {
       return "HTTP/1.0 404 Not Found";
     case 405:
       return "HTTP/1.0 405 Method Not Allowed";
+    case 503:
+      return "HTTP/1.0 503 Service Unavailable";
     default:
       return StrFormat("HTTP/1.0 %d Error", http_status);
   }
@@ -51,17 +56,112 @@ void SplitTarget(const std::string& target, std::string* path,
   }
 }
 
-/// Value of `key` in an "a=1&b=2" query string, or `fallback`.
-int64_t QueryIntParam(const std::string& query, const std::string& key,
-                      int64_t fallback) {
+/// Value of `key` in an "a=1&b=2" query string, or `fallback` when the key
+/// is absent. A key that IS present but malformed (non-numeric, junk) is an
+/// InvalidArgument — handlers answer 400 instead of silently defaulting.
+Result<int64_t> QueryIntParam(const std::string& query, const std::string& key,
+                              int64_t fallback) {
   for (const std::string& pair : StrSplit(query, '&')) {
     const size_t eq = pair.find('=');
     if (eq == std::string::npos) continue;
     if (pair.substr(0, eq) != key) continue;
     auto parsed = ParseInt(pair.substr(eq + 1));
-    if (parsed.ok()) return parsed.value();
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "query parameter '%s' must be an integer, got '%s'", key.c_str(),
+          pair.substr(eq + 1).c_str()));
+    }
+    return parsed.value();
   }
   return fallback;
+}
+
+/// Value of `key` in an "a=b&c=d" query string, or `fallback`.
+std::string QueryStringParam(const std::string& query, const std::string& key,
+                             const std::string& fallback) {
+  for (const std::string& pair : StrSplit(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.substr(0, eq) != key) continue;
+    return pair.substr(eq + 1);
+  }
+  return fallback;
+}
+
+constexpr int64_t kMaxProfileSeconds = 60;
+
+/// GET /profile?seconds=N&hz=H&format=collapsed|json&top=K
+///
+/// seconds > 0: run the sampling profiler for that long (capped at
+/// kMaxProfileSeconds) and answer with the dump — the request blocks for
+/// the duration, which is fine for the single-connection poll-deadline
+/// server since profiling IS the work the caller asked for. seconds = 0:
+/// snapshot a profiler some other surface (e.g. `train --profile-out`)
+/// already started, without stopping it. 503 when a timed request races a
+/// profiling session already in flight — there is one global profiler.
+std::string HandleProfile(const std::string& query,
+                          const std::atomic<bool>& server_stop,
+                          int* http_status, std::string* content_type) {
+  auto seconds = QueryIntParam(query, "seconds", 2);
+  auto hz = QueryIntParam(query, "hz", 97);
+  auto top = QueryIntParam(query, "top", 30);
+  if (!seconds.ok() || seconds.value() < 0 ||
+      seconds.value() > kMaxProfileSeconds) {
+    *http_status = 400;
+    return StrFormat("seconds must be an integer in [0, %lld]\n",
+                     static_cast<long long>(kMaxProfileSeconds));
+  }
+  if (!hz.ok() || hz.value() < 1 || hz.value() > 1000) {
+    *http_status = 400;
+    return "hz must be an integer in [1, 1000]\n";
+  }
+  if (!top.ok() || top.value() < 1) {
+    *http_status = 400;
+    return "top must be a positive integer\n";
+  }
+  const std::string format = QueryStringParam(query, "format", "collapsed");
+  if (format != "collapsed" && format != "json") {
+    *http_status = 400;
+    return "format must be 'collapsed' or 'json'\n";
+  }
+
+  Profiler& profiler = Profiler::Default();
+  ProfileDump dump;
+  if (seconds.value() == 0) {
+    // Live snapshot of an externally managed session.
+    if (!profiler.running()) {
+      *http_status = 400;
+      return "seconds=0 snapshots a running profiler, but none is running\n";
+    }
+    dump = profiler.Dump();
+  } else {
+    ProfilerOptions options;
+    options.hz = static_cast<int>(hz.value());
+    Status started = profiler.Start(options);
+    if (!started.ok()) {
+      *http_status = 503;
+      return StrFormat("profiler busy: %s\n",
+                       started.message().c_str());
+    }
+    // Sleep in short slices so server Stop() aborts the session promptly
+    // instead of holding shutdown for the full window.
+    const uint64_t deadline_ns =
+        MonotonicNanos() +
+        static_cast<uint64_t>(seconds.value()) * 1000000000ull;
+    while (MonotonicNanos() < deadline_ns &&
+           !server_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    profiler.Stop();
+    dump = profiler.Dump();
+  }
+
+  if (format == "json") {
+    *content_type = "application/json";
+    return RenderProfileSummaryJson(dump, static_cast<size_t>(top.value()));
+  }
+  *content_type = "text/plain; charset=utf-8";
+  return RenderCollapsed(dump);
 }
 
 }  // namespace
@@ -191,7 +291,9 @@ std::string ObsServer::HandleRequest(const std::string& method,
   SplitTarget(target, &path, &query);
 
   if (path == "/metrics") {
-    // Prometheus scrapers key on this exact version tag.
+    // Prometheus scrapers key on this exact version tag. Memory gauges are
+    // polled on read: every scrape sees current RSS, not a stale sample.
+    UpdateProcessMemoryGauges();
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     return RenderPrometheus(MetricsRegistry::Default().Snapshot());
   }
@@ -218,11 +320,12 @@ std::string ObsServer::HandleRequest(const std::string& method,
         totals.epsilon_charged, totals.delta_charged);
   }
   if (path == "/ledger") {
-    const int64_t tail = QueryIntParam(query, "tail", 100);
-    if (tail < 0) {
+    auto tail_param = QueryIntParam(query, "tail", 100);
+    if (!tail_param.ok() || tail_param.value() < 0) {
       *http_status = 400;
-      return "tail must be >= 0\n";
+      return "tail must be a non-negative integer\n";
     }
+    const int64_t tail = tail_param.value();
     *content_type = "application/jsonl";
     std::vector<LedgerEvent> events = PrivacyLedger::Default().Snapshot();
     if (tail > 0 && static_cast<size_t>(tail) < events.size()) {
@@ -235,6 +338,9 @@ std::string ObsServer::HandleRequest(const std::string& method,
     *content_type = "application/jsonl";
     return RenderSpansJsonl(TraceRecorder::Default().Snapshot());
   }
+  if (path == "/profile") {
+    return HandleProfile(query, stop_, http_status, content_type);
+  }
   if (path == "/quitquitquit") {
     {
       std::lock_guard<std::mutex> lock(quit_mu_);
@@ -245,7 +351,7 @@ std::string ObsServer::HandleRequest(const std::string& method,
   }
   *http_status = 404;
   return StrFormat(
-      "no handler for '%s'; try /metrics /healthz /ledger /spans\n",
+      "no handler for '%s'; try /metrics /healthz /ledger /spans /profile\n",
       path.c_str());
 }
 

@@ -1,0 +1,282 @@
+#include "obs/profiler.h"
+
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "util/strings.h"
+#include "util/symbolize.h"
+
+// glibc < 2.37 spells the SIGEV_THREAD_ID target field only through the
+// internal union member.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace bolton {
+namespace obs {
+
+namespace {
+
+/// backtrace(3) from the handler sees the handler itself and the kernel's
+/// signal trampoline above the interrupted frame; skip them at capture so
+/// samples start at the interrupted PC. (Dump additionally filters any
+/// trampoline frame that slips through on other unwinder layouts.)
+constexpr int kSkipFrames = 2;
+
+/// The handler's only shared state: the active ring (null = not running)
+/// and an in-flight count Stop() drains before declaring the run over.
+std::atomic<StackSampleRing*> g_active_ring{nullptr};
+std::atomic<int> g_handlers_in_flight{0};
+
+void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* /*ucontext*/) {
+  // Async-signal-safe by construction: atomics, a stack buffer, backtrace
+  // (pre-warmed at Start so its one-time dynamic load happened outside
+  // signal context), the gettid syscall, and the ring's lock-free Push.
+  const int saved_errno = errno;
+  g_handlers_in_flight.fetch_add(1, std::memory_order_acquire);
+  StackSampleRing* ring = g_active_ring.load(std::memory_order_acquire);
+  if (ring != nullptr) {
+    void* pcs[StackSampleRing::kMaxDepth + kSkipFrames];
+    const int depth =
+        ::backtrace(pcs, StackSampleRing::kMaxDepth + kSkipFrames);
+    if (depth > kSkipFrames) {
+      ring->Push(pcs + kSkipFrames,
+                 static_cast<size_t>(depth - kSkipFrames),
+                 static_cast<uint64_t>(::syscall(SYS_gettid)));
+    }
+  }
+  g_handlers_in_flight.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+/// Installs the SIGPROF handler once and leaves it installed for process
+/// lifetime: a pending SIGPROF delivered after Stop() must hit our (then
+/// no-op) handler, never SIG_DFL, whose disposition is process death.
+void InstallHandlerOnce() {
+  static const bool installed = [] {
+    struct sigaction action {};
+    action.sa_sigaction = SigprofHandler;
+    action.sa_flags = SA_RESTART | SA_SIGINFO;
+    sigemptyset(&action.sa_mask);
+    return ::sigaction(SIGPROF, &action, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+/// Frames the capture-side skip can miss on some unwinder layouts.
+bool IsTrampolineFrame(const std::string& name) {
+  return name.find("__restore_rt") != std::string::npos ||
+         name.find("SigprofHandler") != std::string::npos ||
+         name.find("killpg") != std::string::npos;  // glibc trampoline alias
+}
+
+}  // namespace
+
+Profiler& Profiler::Default() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+void Profiler::ArmLocked(ThreadEntry* entry) {
+  if (entry->armed) return;
+  struct sigevent event {};
+  event.sigev_notify = SIGEV_THREAD_ID;
+  event.sigev_signo = SIGPROF;
+  event.sigev_notify_thread_id = static_cast<pid_t>(entry->tid);
+  if (::timer_create(CLOCK_MONOTONIC, &event, &entry->timer) != 0) return;
+  const long period_ns = 1000000000L / options_.hz;
+  struct itimerspec spec {};
+  spec.it_interval.tv_sec = period_ns / 1000000000L;
+  spec.it_interval.tv_nsec = period_ns % 1000000000L;
+  // Stagger first fires across threads so simultaneous samples do not
+  // contend for adjacent ring slots on every tick.
+  spec.it_value.tv_nsec = 1 + (entry->tid * 7919) % period_ns;
+  spec.it_value.tv_sec = 0;
+  if (::timer_settime(entry->timer, 0, &spec, nullptr) != 0) {
+    ::timer_delete(entry->timer);
+    return;
+  }
+  entry->armed = true;
+}
+
+void Profiler::DisarmLocked(ThreadEntry* entry) {
+  if (!entry->armed) return;
+  ::timer_delete(entry->timer);
+  entry->armed = false;
+}
+
+Status Profiler::Start(const ProfilerOptions& options) {
+  if (options.hz < 1 || options.hz > 1000) {
+    return Status::InvalidArgument(
+        StrFormat("profiler hz must be in [1, 1000], got %d", options.hz));
+  }
+  if (options.max_samples == 0) {
+    return Status::InvalidArgument("profiler max_samples must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("profiler already running");
+  }
+  // Force backtrace's lazy one-time initialization (it dlopens libgcc on
+  // first use, which allocates) outside signal context.
+  void* warmup[2];
+  (void)::backtrace(warmup, 2);
+  InstallHandlerOnce();
+
+  options_ = options;
+  ring_.Reset(options.max_samples);
+  g_active_ring.store(&ring_, std::memory_order_release);
+
+  // Register the starting thread; arm every registered thread.
+  const int64_t tid = static_cast<int64_t>(::syscall(SYS_gettid));
+  bool known = false;
+  for (const ThreadEntry& entry : threads_) known |= entry.tid == tid;
+  if (!known) threads_.push_back(ThreadEntry{tid, {}, false});
+  for (ThreadEntry& entry : threads_) ArmLocked(&entry);
+
+  start_ns_ = MonotonicNanos();
+  stop_ns_ = 0;
+  running_ = true;
+  return Status::OK();
+}
+
+Status Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) {
+    return Status::FailedPrecondition("profiler not running");
+  }
+  for (ThreadEntry& entry : threads_) DisarmLocked(&entry);
+  g_active_ring.store(nullptr, std::memory_order_release);
+  // Drain handlers that loaded the ring pointer before we cleared it; after
+  // this loop no signal context can touch ring_ (late deliveries observe
+  // the null ring and return).
+  while (g_handlers_in_flight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  stop_ns_ = MonotonicNanos();
+  running_ = false;
+  return Status::OK();
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t Profiler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.Size();
+}
+
+uint64_t Profiler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.dropped();
+}
+
+void Profiler::RegisterCurrentThread() {
+  const int64_t tid = static_cast<int64_t>(::syscall(SYS_gettid));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadEntry& entry : threads_) {
+    if (entry.tid == tid) {
+      if (running_) ArmLocked(&entry);
+      return;
+    }
+  }
+  threads_.push_back(ThreadEntry{tid, {}, false});
+  if (running_) ArmLocked(&threads_.back());
+}
+
+void Profiler::UnregisterCurrentThread() {
+  const int64_t tid = static_cast<int64_t>(::syscall(SYS_gettid));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].tid != tid) continue;
+    DisarmLocked(&threads_[i]);
+    threads_.erase(threads_.begin() + i);
+    return;
+  }
+}
+
+ProfileDump Profiler::Dump(size_t from_sample) const {
+  ProfileDump dump;
+  std::vector<StackSampleRing::Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dump.hz = options_.hz;
+    dump.dropped = ring_.dropped();
+    const uint64_t end_ns = running_ ? MonotonicNanos() : stop_ns_;
+    dump.duration_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+    ring_.CopyCommitted(from_sample, &samples);
+  }
+  dump.samples = samples.size();
+  if (samples.empty()) return dump;
+
+  // Aggregate identical raw stacks before symbolizing, then symbolize each
+  // distinct pc once.
+  std::map<std::vector<void*>, uint64_t> raw_stacks;
+  std::vector<void*> all_pcs;
+  for (const StackSampleRing::Sample& sample : samples) {
+    std::vector<void*> key(sample.pcs, sample.pcs + sample.depth);
+    ++raw_stacks[key];
+    all_pcs.insert(all_pcs.end(), key.begin(), key.end());
+  }
+  std::map<void*, SymbolizedPc> symbols = SymbolizePcs(all_pcs);
+
+  // Symbolization can merge raw stacks (same frames, different offsets), so
+  // re-aggregate on the rendered frames.
+  struct Agg {
+    ProfileStack stack;
+  };
+  std::map<std::string, Agg> merged;
+  uint64_t leaf_resolved_samples = 0;
+  uint64_t any_resolved_samples = 0;
+  for (const auto& [pcs, count] : raw_stacks) {
+    ProfileStack stack;
+    stack.count = count;
+    // backtrace order is leaf-first; collapsed stacks want root-first.
+    for (size_t i = pcs.size(); i-- > 0;) {
+      const SymbolizedPc& symbol = symbols[pcs[i]];
+      if (IsTrampolineFrame(symbol.name)) continue;
+      stack.frames.push_back(symbol.name);
+      stack.any_resolved |= symbol.resolved;
+      stack.leaf_resolved = symbol.resolved;  // last pushed frame = leaf
+    }
+    if (stack.frames.empty()) continue;
+    if (stack.leaf_resolved) leaf_resolved_samples += count;
+    if (stack.any_resolved) any_resolved_samples += count;
+    std::string key;
+    for (const std::string& frame : stack.frames) {
+      key += frame;
+      key += ';';
+    }
+    auto [it, inserted] = merged.emplace(key, Agg{std::move(stack)});
+    if (!inserted) it->second.stack.count += count;
+  }
+
+  dump.stacks.reserve(merged.size());
+  for (auto& [key, agg] : merged) dump.stacks.push_back(std::move(agg.stack));
+  std::sort(dump.stacks.begin(), dump.stacks.end(),
+            [](const ProfileStack& a, const ProfileStack& b) {
+              return a.count > b.count;
+            });
+  const double total = static_cast<double>(dump.samples);
+  dump.leaf_symbolized_fraction =
+      static_cast<double>(leaf_resolved_samples) / total;
+  dump.any_symbolized_fraction =
+      static_cast<double>(any_resolved_samples) / total;
+  return dump;
+}
+
+}  // namespace obs
+}  // namespace bolton

@@ -1,5 +1,8 @@
 #include "obs/telemetry.h"
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -63,6 +66,31 @@ void SetAllEnabled(bool enabled) {
   SetMetricsEnabled(enabled);
   TraceRecorder::Default().SetEnabled(enabled);
   PrivacyLedger::Default().SetEnabled(enabled);
+}
+
+void UpdateProcessMemoryGauges() {
+  if (!MetricsEnabled()) return;
+  static Gauge* max_rss =
+      MetricsRegistry::Default().GetGauge("process.max_rss_bytes");
+  static Gauge* rss = MetricsRegistry::Default().GetGauge("process.rss_bytes");
+  static Gauge* vm = MetricsRegistry::Default().GetGauge("process.vm_bytes");
+
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux.
+    max_rss->Set(static_cast<double>(usage.ru_maxrss) * 1024.0);
+  }
+  // /proc/self/statm: "size resident ..." in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f != nullptr) {
+    unsigned long long vm_pages = 0, rss_pages = 0;
+    if (std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages) == 2) {
+      const double page = static_cast<double>(::sysconf(_SC_PAGESIZE));
+      vm->Set(static_cast<double>(vm_pages) * page);
+      rss->Set(static_cast<double>(rss_pages) * page);
+    }
+    std::fclose(f);
+  }
 }
 
 void InstallFailpointObsBridge() {

@@ -30,6 +30,14 @@ std::string JsonEscape(const std::string& s);
 /// Master switch: flips metrics, trace, and ledger recording together.
 void SetAllEnabled(bool enabled);
 
+/// Refreshes the process memory gauges — process.rss_bytes and
+/// process.vm_bytes from /proc/self/statm, process.max_rss_bytes from
+/// getrusage(2) — in the default registry. Polled on read: the obs HTTP
+/// server calls this on every /metrics scrape and the CLI/bench dump paths
+/// call it before rendering, so the gauges are fresh wherever they are
+/// observed without a dedicated poller thread.
+void UpdateProcessMemoryGauges();
+
 /// Wires the fault-injection registry (util/failpoint.h — a layer below
 /// obs, so it cannot call us directly) into the telemetry pillars: every
 /// fired failpoint increments the `failpoints_fired` counter and, when

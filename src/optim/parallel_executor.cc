@@ -7,6 +7,7 @@
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
@@ -108,6 +109,7 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
   // Partition permutation and the per-shard seed base are drawn from the
   // parent stream BEFORE any worker starts, so results depend only on the
   // seed and shard count — never on thread count or scheduling.
+  const uint64_t shuffle_start_ns = obs::MonotonicNanos();
   std::vector<size_t> order;
   {
     obs::ScopedSpan shuffle_span("psgd.shard_partition");
@@ -135,6 +137,7 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
       offset += size_j;
     }
   }
+  const uint64_t partition_end_ns = obs::MonotonicNanos();
 
   PsgdOptions shard_options = options;
   shard_options.shards = 1;
@@ -153,6 +156,22 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
       obs::MetricsRegistry::Default().GetGauge("psgd.shard_count");
   obs::Histogram* shard_seconds = obs::MetricsRegistry::Default().GetHistogram(
       "psgd.shard_seconds", obs::LatencySecondsBuckets());
+  // Worker-utilization accounting (the WorkerUtilization section of
+  // /metrics): where worker wall time went, so "shards lose to serial" is
+  // attributable to spawn cost vs. idle/imbalance vs. actual shard work.
+  obs::Histogram* worker_busy = obs::MetricsRegistry::Default().GetHistogram(
+      "psgd.worker_busy_seconds", obs::LatencySecondsBuckets());
+  obs::Histogram* worker_idle = obs::MetricsRegistry::Default().GetHistogram(
+      "psgd.worker_idle_seconds", obs::LatencySecondsBuckets());
+  obs::Histogram* worker_spawn = obs::MetricsRegistry::Default().GetHistogram(
+      "psgd.worker_spawn_seconds", obs::LatencySecondsBuckets());
+  obs::Histogram* shard_queue_wait =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "psgd.shard_queue_wait_seconds", obs::LatencySecondsBuckets());
+  obs::Gauge* worker_count_gauge =
+      obs::MetricsRegistry::Default().GetGauge("psgd.worker_count");
+  obs::Gauge* worker_busy_frac =
+      obs::MetricsRegistry::Default().GetGauge("psgd.worker_busy_frac");
   shard_count->Set(static_cast<double>(s));
 
   // One attempt: fault-injection gate, then PSGD from the shard's
@@ -188,8 +207,38 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
 
   const size_t worker_count =
       max_threads == 0 ? s : std::min(max_threads, s);
+  std::vector<WorkerStats> worker_stats(std::max<size_t>(worker_count, 1));
+  const uint64_t dispatch_start_ns = obs::MonotonicNanos();
+  // One worker's round-robin slice, with wall-time attribution: spawn
+  // (dispatch -> first instruction), busy (inside run_shard), queue wait
+  // (ready but not yet running the next shard), idle (lifetime - busy).
+  auto run_worker = [&](size_t w) {
+    WorkerStats& stats = worker_stats[w];
+    stats.worker = w;
+    const uint64_t worker_start_ns = obs::MonotonicNanos();
+    stats.spawn_ns = worker_start_ns - dispatch_start_ns;
+    obs::ProfiledThreadScope profile_scope;
+    obs::ScopedSpan worker_span("psgd.worker");
+    for (size_t j = w; j < s; j += worker_count) {
+      const uint64_t shard_start_ns = obs::MonotonicNanos();
+      shard_queue_wait->Observe(
+          static_cast<double>(shard_start_ns - dispatch_start_ns) * 1e-9);
+      const uint64_t ready_gap_ns =
+          shard_start_ns - worker_start_ns - stats.busy_ns;
+      stats.queue_wait_ns += ready_gap_ns;
+      run_shard(j);
+      stats.busy_ns += obs::MonotonicNanos() - shard_start_ns;
+      ++stats.shards_run;
+    }
+    const uint64_t lifetime_ns = obs::MonotonicNanos() - worker_start_ns;
+    stats.idle_ns = lifetime_ns > stats.busy_ns ? lifetime_ns - stats.busy_ns
+                                                : 0;
+  };
   if (worker_count <= 1) {
-    for (size_t j = 0; j < s; ++j) run_shard(j);
+    // Serial fallback is accounted as one worker with zero spawn cost (no
+    // thread was created; run_worker measures from its own start).
+    run_worker(0);
+    worker_stats[0].spawn_ns = 0;
   } else {
     // Static round-robin: shard j runs on worker j % worker_count, so the
     // assignment (though not the result — shards are independent) is also
@@ -197,12 +246,11 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     std::vector<std::thread> workers;
     workers.reserve(worker_count);
     for (size_t w = 0; w < worker_count; ++w) {
-      workers.emplace_back([&, w]() {
-        for (size_t j = w; j < s; j += worker_count) run_shard(j);
-      });
+      workers.emplace_back([&, w]() { run_worker(w); });
     }
     for (std::thread& worker : workers) worker.join();
   }
+  const uint64_t dispatch_end_ns = obs::MonotonicNanos();
 
   // Degradation phase: shards whose worker exhausted its attempts get one
   // re-dispatch on this (surviving) thread with a fresh attempt budget —
@@ -233,6 +281,7 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
 
   // Uniform model average in shard order (Lemma 10). Fixed order keeps the
   // floating-point sum, and therefore the result, thread-count independent.
+  const uint64_t average_start_ns = obs::MonotonicNanos();
   ShardedPsgdOutput out;
   out.shards = s;
   out.shard_sizes = std::move(shard_sizes);
@@ -246,6 +295,28 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
   }
   average *= 1.0 / static_cast<double>(s);
   out.model = std::move(average);
+
+  // Publish the run's utilization: per-worker rows in the output, and the
+  // psgd.worker_* metrics family for /metrics scrapes.
+  out.utilization.workers = std::move(worker_stats);
+  out.utilization.partition_ns = partition_end_ns - shuffle_start_ns;
+  out.utilization.dispatch_ns = dispatch_end_ns - dispatch_start_ns;
+  out.utilization.average_ns = obs::MonotonicNanos() - average_start_ns;
+  uint64_t total_busy_ns = 0, total_alive_ns = 0;
+  for (const WorkerStats& stats : out.utilization.workers) {
+    worker_busy->Observe(static_cast<double>(stats.busy_ns) * 1e-9);
+    worker_idle->Observe(static_cast<double>(stats.idle_ns) * 1e-9);
+    worker_spawn->Observe(static_cast<double>(stats.spawn_ns) * 1e-9);
+    total_busy_ns += stats.busy_ns;
+    total_alive_ns += stats.busy_ns + stats.idle_ns;
+  }
+  out.utilization.busy_fraction =
+      total_alive_ns > 0 ? static_cast<double>(total_busy_ns) /
+                               static_cast<double>(total_alive_ns)
+                         : 0.0;
+  worker_count_gauge->Set(
+      static_cast<double>(out.utilization.workers.size()));
+  worker_busy_frac->Set(out.utilization.busy_fraction);
   return out;
 }
 

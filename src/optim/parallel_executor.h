@@ -14,6 +14,37 @@
 
 namespace bolton {
 
+/// Where one worker thread's wall time went during a sharded run — the
+/// scheduler-level attribution that answers "why do shards lose to serial":
+/// spawn cost (thread creation to first instruction), busy time (inside
+/// shard PSGD), and idle time (alive but waiting — load imbalance or
+/// serialization on an undersubscribed machine). All nanoseconds on the
+/// obs monotonic clock. Exposed as psgd.worker_* histograms//metrics and
+/// aggregated here in the run output.
+struct WorkerStats {
+  size_t worker = 0;       // worker index (0-based)
+  uint64_t spawn_ns = 0;   // dispatch -> first instruction in the worker
+  uint64_t busy_ns = 0;    // total time executing shard attempts
+  uint64_t idle_ns = 0;    // lifetime - busy (scheduling gaps, imbalance)
+  /// Gap time between the worker being ready and each of its shards
+  /// starting, net of time spent on earlier shards — nonzero when the OS
+  /// descheduled the worker between shards (oversubscription).
+  uint64_t queue_wait_ns = 0;
+  size_t shards_run = 0;   // shards this worker executed
+};
+
+/// Aggregate utilization over a sharded run: per-worker rows plus the
+/// run-level phases that are not attributable to any worker.
+struct WorkerUtilization {
+  std::vector<WorkerStats> workers;
+  uint64_t partition_ns = 0;  // permutation draw + shard split
+  uint64_t dispatch_ns = 0;   // worker creation to last join
+  uint64_t average_ns = 0;    // fixed-order model averaging
+  /// Σ busy / Σ (busy + idle) over all workers; 1.0 when every worker was
+  /// doing shard work its whole life, lower when spawn/imbalance dominate.
+  double busy_fraction = 0.0;
+};
+
 /// Result of a sharded (or, at shards = 1, serial) PSGD run.
 struct ShardedPsgdOutput {
   /// The released hypothesis: at shards = 1 the serial RunPsgd model,
@@ -26,6 +57,9 @@ struct ShardedPsgdOutput {
   /// |S_j| per shard, in shard order. The balanced contiguous partition:
   /// the first m mod s shards get ⌈m/s⌉ examples, the rest ⌊m/s⌋.
   std::vector<size_t> shard_sizes;
+  /// Wall-time attribution for the run's workers (empty for the shards = 1
+  /// serial delegation, which has no workers to account).
+  WorkerUtilization utilization;
 };
 
 /// Deterministic per-shard RNG seed: counter-based (seed_base + shard

@@ -1,0 +1,105 @@
+#ifndef BOLTON_UTIL_SAMPLE_RING_H_
+#define BOLTON_UTIL_SAMPLE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace bolton {
+
+/// Lock-free buffer of raw stack samples, written from signal handlers.
+///
+/// The writer side is async-signal-safe by construction: Push() performs one
+/// relaxed fetch_add to claim a slot, plain stores into memory that was
+/// allocated before any signal could fire, and one release store to publish
+/// the slot. No locks, no allocation, no syscalls. Claimed indices never
+/// wrap: once the buffer is full further samples are counted as dropped
+/// instead of overwriting older ones, so a reader never races a writer for
+/// the same slot and the drop count is visible in the profile output rather
+/// than silently biasing it.
+///
+/// The reader side (CopyCommitted) may run concurrently with writers; it
+/// only reads slots whose committed flag is set (acquire), so it observes
+/// fully written samples or skips the slot.
+class StackSampleRing {
+ public:
+  /// Deepest stack recorded per sample; deeper frames are truncated at the
+  /// root end (the leaf frames are what profiles attribute time to).
+  static constexpr size_t kMaxDepth = 48;
+
+  struct Sample {
+    uint64_t thread_id = 0;  // kernel tid of the sampled thread
+    uint32_t depth = 0;
+    void* pcs[kMaxDepth];  // innermost (leaf) first, as backtrace(3) fills
+  };
+
+  StackSampleRing() = default;
+  StackSampleRing(const StackSampleRing&) = delete;
+  StackSampleRing& operator=(const StackSampleRing&) = delete;
+
+  /// (Re)allocates `capacity` slots and resets all counters. NOT
+  /// signal-safe: the caller must guarantee no writer can run concurrently
+  /// (the profiler disarms its timers and drains in-flight handlers first).
+  void Reset(size_t capacity) {
+    samples_ = std::make_unique<Sample[]>(capacity);
+    committed_ = std::make_unique<std::atomic<uint32_t>[]>(capacity);
+    for (size_t i = 0; i < capacity; ++i) {
+      committed_[i].store(0, std::memory_order_relaxed);
+    }
+    capacity_ = capacity;
+    claimed_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Signal-safe append. Returns false (and counts a drop) when full.
+  bool Push(void* const* pcs, size_t depth, uint64_t thread_id) {
+    const size_t index = claimed_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Sample& slot = samples_[index];
+    slot.thread_id = thread_id;
+    const size_t n = depth < kMaxDepth ? depth : kMaxDepth;
+    for (size_t i = 0; i < n; ++i) slot.pcs[i] = pcs[i];
+    slot.depth = static_cast<uint32_t>(n);
+    committed_[index].store(1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Upper bound on the number of committed slots (some of the last few may
+  /// still be in flight; CopyCommitted skips those).
+  size_t Size() const {
+    const size_t claimed = claimed_.load(std::memory_order_relaxed);
+    return claimed < capacity_ ? claimed : capacity_;
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends committed samples with index in [begin, Size()) to `*out`.
+  /// Safe to call while writers are active.
+  template <typename Vector>
+  void CopyCommitted(size_t begin, Vector* out) const {
+    const size_t end = Size();
+    for (size_t i = begin; i < end; ++i) {
+      if (committed_[i].load(std::memory_order_acquire) == 0) continue;
+      out->push_back(samples_[i]);
+    }
+  }
+
+ private:
+  std::unique_ptr<Sample[]> samples_;
+  std::unique_ptr<std::atomic<uint32_t>[]> committed_;
+  size_t capacity_ = 0;
+  std::atomic<size_t> claimed_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_SAMPLE_RING_H_

@@ -1,0 +1,295 @@
+#include "util/symbolize.h"
+
+#include <cxxabi.h>
+#include <elf.h>
+#include <execinfo.h>
+#include <link.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace bolton {
+
+namespace {
+
+/// backtrace_symbols lines look like
+///   "binary(_ZN6bolton3FooEv+0x1a) [0x55e1c2a4f3b0]"  (symbol found)
+///   "binary() [0x55e1c2a4f3b0]"                        (no symbol)
+///   "binary [0x55e1c2a4f3b0]"                          (no symbol table)
+/// Extract the mangled name between '(' and '+' (or ')').
+std::string ExtractMangled(const std::string& line) {
+  const size_t open = line.find('(');
+  if (open == std::string::npos) return "";
+  const size_t plus = line.find('+', open);
+  const size_t close = line.find(')', open);
+  const size_t end = plus != std::string::npos && plus < close ? plus : close;
+  if (end == std::string::npos || end <= open + 1) return "";
+  return line.substr(open + 1, end - open - 1);
+}
+
+/// ---- In-process ELF symbol index.
+///
+/// backtrace_symbols(3) resolves through dladdr, which only sees .dynsym —
+/// so static / anonymous-namespace functions in our own binary and the
+/// internals of stripped system libraries (libm's exp kernels, libc's
+/// memcpy variants) come back nameless. This index goes further, the way
+/// perf does:
+///
+///   * the MAIN BINARY keeps its full .symtab (we are not stripped), which
+///     names every local function, lambda, and anonymous-namespace helper;
+///   * stripped DSOs still carry .dynsym; a PC landing past the end of an
+///     exported function (an unexported kernel that follows it) is
+///     attributed to the nearest preceding dynamic symbol, bounded by the
+///     next symbol's start — approximate, clearly better than a raw hex
+///     address, and standard practice for stripped libraries.
+///
+/// Built lazily on first use from dl_iterate_phdr (which hands us each
+/// loaded object's relocation bias) plus a section-header walk of each ELF
+/// file. Never touched from signal context.
+
+struct FuncSymbol {
+  uintptr_t addr = 0;  // absolute (load bias applied)
+  uintptr_t size = 0;  // st_size; 0 = unknown
+  std::string name;    // mangled
+};
+
+struct ExecRange {
+  uintptr_t lo = 0;
+  uintptr_t hi = 0;
+  size_t module = 0;  // index into SymbolIndex::modules
+};
+
+struct ModuleInfo {
+  std::string path;
+  uintptr_t bias = 0;
+};
+
+struct SymbolIndex {
+  std::vector<ModuleInfo> modules;
+  std::vector<ExecRange> ranges;    // sorted by lo
+  std::vector<FuncSymbol> symbols;  // sorted by addr
+};
+
+/// Appends every defined function symbol of `path` (both .symtab and
+/// .dynsym when present), with `bias` applied, to `out`. Best-effort: any
+/// parse trouble just yields fewer symbols.
+void LoadElfSymbols(const std::string& path, uintptr_t bias,
+                    std::vector<FuncSymbol>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+
+  Elf64_Ehdr ehdr{};
+  bool ok = std::fread(&ehdr, sizeof(ehdr), 1, f) == 1 &&
+            std::memcmp(ehdr.e_ident, ELFMAG, SELFMAG) == 0 &&
+            ehdr.e_ident[EI_CLASS] == ELFCLASS64 &&
+            ehdr.e_shentsize == sizeof(Elf64_Shdr) && ehdr.e_shnum > 0;
+  std::vector<Elf64_Shdr> sections;
+  if (ok) {
+    sections.resize(ehdr.e_shnum);
+    ok = std::fseek(f, static_cast<long>(ehdr.e_shoff), SEEK_SET) == 0 &&
+         std::fread(sections.data(), sizeof(Elf64_Shdr), sections.size(),
+                    f) == sections.size();
+  }
+  if (ok) {
+    for (const Elf64_Shdr& sec : sections) {
+      if (sec.sh_type != SHT_SYMTAB && sec.sh_type != SHT_DYNSYM) continue;
+      if (sec.sh_entsize != sizeof(Elf64_Sym) || sec.sh_link >= sections.size())
+        continue;
+      const Elf64_Shdr& strtab = sections[sec.sh_link];
+      std::vector<Elf64_Sym> syms(sec.sh_size / sizeof(Elf64_Sym));
+      std::vector<char> names(strtab.sh_size);
+      if (std::fseek(f, static_cast<long>(sec.sh_offset), SEEK_SET) != 0 ||
+          std::fread(syms.data(), sizeof(Elf64_Sym), syms.size(), f) !=
+              syms.size() ||
+          std::fseek(f, static_cast<long>(strtab.sh_offset), SEEK_SET) != 0 ||
+          std::fread(names.data(), 1, names.size(), f) != names.size()) {
+        continue;
+      }
+      for (const Elf64_Sym& sym : syms) {
+        const unsigned type = ELF64_ST_TYPE(sym.st_info);
+        if (type != STT_FUNC && type != STT_GNU_IFUNC) continue;
+        if (sym.st_shndx == SHN_UNDEF || sym.st_value == 0) continue;
+        if (sym.st_name >= names.size()) continue;
+        const char* name = names.data() + sym.st_name;
+        if (name[0] == '\0') continue;
+        out->push_back(FuncSymbol{bias + sym.st_value, sym.st_size, name});
+      }
+    }
+  }
+  std::fclose(f);
+}
+
+int CollectPhdrModules(dl_phdr_info* info, size_t /*size*/, void* data) {
+  SymbolIndex* index = static_cast<SymbolIndex*>(data);
+  // The main executable reports an empty name; read it via /proc/self/exe
+  // (its .symtab is what names our static functions).
+  const std::string path =
+      (info->dlpi_name == nullptr || info->dlpi_name[0] == '\0')
+          ? "/proc/self/exe"
+          : info->dlpi_name;
+  const size_t module = index->modules.size();
+  bool any_exec = false;
+  for (int i = 0; i < info->dlpi_phnum; ++i) {
+    const ElfW(Phdr)& phdr = info->dlpi_phdr[i];
+    if (phdr.p_type != PT_LOAD || (phdr.p_flags & PF_X) == 0) continue;
+    const uintptr_t lo = info->dlpi_addr + phdr.p_vaddr;
+    index->ranges.push_back(ExecRange{lo, lo + phdr.p_memsz, module});
+    any_exec = true;
+  }
+  // Modules with no executable mapping pushed no ranges; skipping the
+  // modules entry keeps `module` indices dense.
+  if (any_exec) index->modules.push_back(ModuleInfo{path, info->dlpi_addr});
+  return 0;
+}
+
+SymbolIndex BuildSymbolIndex() {
+  SymbolIndex index;
+  ::dl_iterate_phdr(&CollectPhdrModules, &index);
+  for (const ModuleInfo& module : index.modules) {
+    LoadElfSymbols(module.path, module.bias, &index.symbols);
+  }
+  std::sort(index.ranges.begin(), index.ranges.end(),
+            [](const ExecRange& a, const ExecRange& b) { return a.lo < b.lo; });
+  std::sort(index.symbols.begin(), index.symbols.end(),
+            [](const FuncSymbol& a, const FuncSymbol& b) {
+              return a.addr < b.addr;
+            });
+  // Deduplicate identical addresses (.symtab and .dynsym overlap); prefer
+  // the first name.
+  index.symbols.erase(
+      std::unique(index.symbols.begin(), index.symbols.end(),
+                  [](const FuncSymbol& a, const FuncSymbol& b) {
+                    return a.addr == b.addr;
+                  }),
+      index.symbols.end());
+  return index;
+}
+
+const SymbolIndex& GetSymbolIndex() {
+  static const SymbolIndex* index = new SymbolIndex(BuildSymbolIndex());
+  return *index;
+}
+
+/// The executable mapping containing `pc`, or nullptr.
+const ExecRange* FindRange(const SymbolIndex& index, uintptr_t pc) {
+  auto it = std::upper_bound(
+      index.ranges.begin(), index.ranges.end(), pc,
+      [](uintptr_t value, const ExecRange& r) { return value < r.lo; });
+  if (it == index.ranges.begin()) return nullptr;
+  --it;
+  return pc < it->hi ? &*it : nullptr;
+}
+
+/// Nearest function symbol at or before `pc`, bounded by the next symbol's
+/// start: exact when pc is inside [addr, addr+size), approximate (still
+/// returned) when pc falls in the gap before the next symbol — that is
+/// where stripped libraries hide their unexported kernels.
+const FuncSymbol* FindSymbol(const SymbolIndex& index, uintptr_t pc) {
+  auto it = std::upper_bound(
+      index.symbols.begin(), index.symbols.end(), pc,
+      [](uintptr_t value, const FuncSymbol& s) { return value < s.addr; });
+  if (it == index.symbols.begin()) return nullptr;
+  const FuncSymbol* next = it != index.symbols.end() ? &*it : nullptr;
+  --it;
+  const FuncSymbol& sym = *it;
+  if (sym.size > 0 && pc < sym.addr + sym.size) return &sym;
+  // Gap attribution: only up to the next known symbol, and never across an
+  // executable-mapping boundary (a gap cannot span modules).
+  if (next != nullptr && pc >= next->addr) return nullptr;
+  const ExecRange* range = FindRange(index, pc);
+  if (range == nullptr || sym.addr < range->lo) return nullptr;
+  return &sym;
+}
+
+/// Index-based resolution; falls back to an unresolved "module+offset" (or
+/// bare address) placeholder.
+SymbolizedPc ResolveViaIndex(void* pc) {
+  SymbolizedPc out;
+  out.pc = pc;
+  const SymbolIndex& index = GetSymbolIndex();
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(pc);
+  if (const FuncSymbol* sym = FindSymbol(index, addr)) {
+    out.name = Demangle(sym->name);
+    out.resolved = true;
+    return out;
+  }
+  if (const ExecRange* range = FindRange(index, addr)) {
+    const ModuleInfo& module = index.modules[range->module];
+    const size_t slash = module.path.rfind('/');
+    const std::string base = slash == std::string::npos
+                                 ? module.path
+                                 : module.path.substr(slash + 1);
+    out.name = StrFormat("[%s+0x%zx]", base.c_str(),
+                         static_cast<size_t>(addr - module.bias));
+    return out;
+  }
+  out.name = StrFormat("[%p]", pc);
+  return out;
+}
+
+}  // namespace
+
+std::string Demangle(const std::string& mangled) {
+  int status = 0;
+  char* demangled =
+      abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+  if (status != 0 || demangled == nullptr) {
+    std::free(demangled);
+    return mangled;
+  }
+  std::string out(demangled);
+  std::free(demangled);
+  return out;
+}
+
+SymbolizedPc SymbolizePc(void* pc) {
+  SymbolizedPc out = ResolveViaIndex(pc);
+  if (out.resolved) return out;
+  // Fallback: dladdr via backtrace_symbols still wins when dl_iterate_phdr
+  // missed the object (e.g. loaded after the index was built).
+  void* addrs[1] = {pc};
+  char** lines = ::backtrace_symbols(addrs, 1);
+  if (lines != nullptr) {
+    const std::string mangled = ExtractMangled(lines[0]);
+    if (!mangled.empty()) {
+      out.name = Demangle(mangled);
+      out.resolved = true;
+    }
+    std::free(lines);
+  }
+  return out;
+}
+
+std::map<void*, SymbolizedPc> SymbolizePcs(const std::vector<void*>& pcs) {
+  std::map<void*, SymbolizedPc> table;
+  std::vector<void*> misses;
+  for (void* pc : pcs) {
+    auto [it, inserted] = table.emplace(pc, SymbolizedPc{});
+    if (!inserted) continue;
+    it->second = ResolveViaIndex(pc);
+    if (!it->second.resolved) misses.push_back(pc);
+  }
+  if (misses.empty()) return table;
+  // One batched backtrace_symbols call for everything the index missed.
+  char** lines =
+      ::backtrace_symbols(misses.data(), static_cast<int>(misses.size()));
+  if (lines != nullptr) {
+    for (size_t i = 0; i < misses.size(); ++i) {
+      const std::string mangled = ExtractMangled(lines[i]);
+      if (mangled.empty()) continue;
+      SymbolizedPc& entry = table[misses[i]];
+      entry.name = Demangle(mangled);
+      entry.resolved = true;
+    }
+    std::free(lines);
+  }
+  return table;
+}
+
+}  // namespace bolton

@@ -1,0 +1,46 @@
+#ifndef BOLTON_UTIL_SYMBOLIZE_H_
+#define BOLTON_UTIL_SYMBOLIZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bolton {
+
+/// Offline symbolization for raw program-counter samples (the profiler's
+/// dump path). None of this is signal-safe — it allocates freely — which is
+/// exactly why the profiler defers it to dump time: signal handlers record
+/// bare addresses, and these helpers turn them into names afterwards.
+
+/// One resolved program counter.
+struct SymbolizedPc {
+  void* pc = nullptr;
+  /// Demangled function name when the symbol resolved, else a stable
+  /// "[0xADDR]" placeholder so collapsed stacks stay well-formed.
+  std::string name;
+  /// True when a real symbol (not the address placeholder) was found.
+  bool resolved = false;
+};
+
+/// Resolves `pc` against an in-process ELF symbol index (the main binary's
+/// full .symtab — which names static and anonymous-namespace functions —
+/// plus every loaded DSO's .dynsym, with perf-style nearest-preceding-
+/// symbol attribution for the unexported internals of stripped system
+/// libraries), falling back to backtrace_symbols(3). C++ names are
+/// demangled with abi::__cxa_demangle. Unresolved PCs inside a known
+/// module render as "[module+0xOFF]", others as "[0xADDR]"; executables
+/// are linked with -rdynamic globally (see the top-level CMakeLists) so
+/// the dladdr fallback also works.
+SymbolizedPc SymbolizePc(void* pc);
+
+/// Batch form with per-address deduplication: each distinct pc is resolved
+/// once. Returns a map so callers can render many stacks cheaply.
+std::map<void*, SymbolizedPc> SymbolizePcs(const std::vector<void*>& pcs);
+
+/// Demangles a mangled C++ identifier; returns the input unchanged when it
+/// does not demangle (C symbols, already-demangled names).
+std::string Demangle(const std::string& mangled);
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_SYMBOLIZE_H_

@@ -59,4 +59,30 @@ sed 's/"rows_per_sec":50000/"rows_per_sec":47500/' \
     "$WORKDIR/baseline.json" > "$WORKDIR/wobble.json"
 python3 "$BENCHDIFF" diff "$WORKDIR/baseline.json" "$WORKDIR/wobble.json"
 
+# Profile-carrying rows: an old baseline WITHOUT the optional "profile"
+# field must merge and diff cleanly against a candidate that has it, and a
+# regression whose both sides carry profiles gets a hottest-frame note.
+cat > "$WORKDIR/prof_new.json" <<'EOF'
+{"schema":"boltondp-bench-v1","results":[
+ {"figure":"fig2_scalability","name":"memory/ours/m=25000","dataset":"two_gaussians","algo":"ours","epsilon":0,"wall_seconds":0.5,"rows_per_sec":50000,"accuracy":-1,"profile":{"schema":"boltondp-profile-v1","hz":97,"samples":100,"dropped":0,"duration_ns":1000,"leaf_symbolized_pct":95.0,"any_symbolized_pct":100.0,"frames":[{"name":"bolton::Dot","self":60,"self_pct":60.0,"total":60,"total_pct":60.0}]}}
+]}
+EOF
+# Old baseline (no profile anywhere) vs profiled candidate: clean diff.
+python3 "$BENCHDIFF" diff "$WORKDIR/fig2.json" "$WORKDIR/prof_new.json"
+# Profiled rows survive a merge byte-for-byte usable.
+python3 "$BENCHDIFF" merge "$WORKDIR/prof_merged.json" \
+    "$WORKDIR/prof_new.json" "$WORKDIR/fig3.json"
+grep -q '"boltondp-profile-v1"' "$WORKDIR/prof_merged.json"
+python3 "$BENCHDIFF" diff "$WORKDIR/prof_merged.json" "$WORKDIR/prof_merged.json"
+# Regression with profiles on both sides carries the hottest-frame note.
+sed 's/"rows_per_sec":50000/"rows_per_sec":30000/; s/"name":"bolton::Dot"/"name":"bolton::Axpy"/' \
+    "$WORKDIR/prof_new.json" > "$WORKDIR/prof_regressed.json"
+if python3 "$BENCHDIFF" diff "$WORKDIR/prof_new.json" \
+    "$WORKDIR/prof_regressed.json" > "$WORKDIR/prof_diff.log"; then
+  echo "benchdiff failed to flag a profiled regression" >&2
+  exit 1
+fi
+grep -q "hottest:" "$WORKDIR/prof_diff.log"
+grep -q "bolton::Axpy" "$WORKDIR/prof_diff.log"
+
 echo "benchdiff test passed"

@@ -1,14 +1,17 @@
 #include "obs/http_server.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/net.h"
@@ -245,6 +248,73 @@ TEST_F(ObsHttpTest, LedgerTailReturnsLastNEvents) {
   EXPECT_EQ(count, 5);
 }
 
+TEST_F(ObsHttpTest, LedgerTailRejectsMalformedValues) {
+  EXPECT_EQ(Get(server_->port(), "/ledger?tail=abc").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/ledger?tail=-1").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/ledger?tail=").status, 400);
+  HttpResponse response = Get(server_->port(), "/ledger?tail=abc");
+  EXPECT_NE(response.body.find("tail must be"), std::string::npos)
+      << response.body;
+  // A well-formed request still works afterwards.
+  EXPECT_EQ(Get(server_->port(), "/ledger?tail=10").status, 200);
+}
+
+TEST_F(ObsHttpTest, ProfileRejectsMalformedParams) {
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=abc").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=-1").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=61").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=1&hz=0").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=1&hz=2000").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=1&top=0").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=1&format=xml").status,
+            400);
+}
+
+TEST_F(ObsHttpTest, ProfileSnapshotWithoutRunningProfilerIs400) {
+  HttpResponse response = Get(server_->port(), "/profile?seconds=0");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("none is running"), std::string::npos)
+      << response.body;
+}
+
+TEST_F(ObsHttpTest, ProfileTimedRequestIs503WhileProfilerBusy) {
+  // An externally started session occupies the one global profiler; a
+  // timed request must answer 503 instead of silently stealing it, while
+  // seconds=0 reads the live session.
+  ASSERT_TRUE(Profiler::Default().Start().ok());
+  EXPECT_EQ(Get(server_->port(), "/profile?seconds=5").status, 503);
+  HttpResponse live = Get(server_->port(), "/profile?seconds=0&format=json");
+  EXPECT_EQ(live.status, 200);
+  EXPECT_NE(live.body.find("\"schema\":\"boltondp-profile-v1\""),
+            std::string::npos)
+      << live.body;
+  ASSERT_TRUE(Profiler::Default().Stop().ok());
+}
+
+TEST_F(ObsHttpTest, ProfileTimedWindowReturnsCollapsedStacks) {
+  // Keep the server's request thread sampled: the window covers whatever
+  // the process does during it, which here is this thread burning CPU.
+  std::atomic<bool> done{false};
+  std::thread burner([&done] {
+    ProfiledThreadScope scope;
+    volatile double acc = 0.0;
+    while (!done.load()) {
+      for (int i = 0; i < 4000; ++i) acc = acc + i * 0.5;
+    }
+  });
+  HttpResponse response = Get(server_->port(), "/profile?seconds=1&hz=499");
+  done.store(true);
+  burner.join();
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("text/plain"), std::string::npos);
+  // Collapsed line shape: "frame;frame;... COUNT".
+  EXPECT_FALSE(response.body.empty());
+  const std::string first_line =
+      response.body.substr(0, response.body.find('\n'));
+  EXPECT_NE(first_line.rfind(' '), std::string::npos) << first_line;
+  EXPECT_FALSE(Profiler::Default().running());
+}
+
 TEST_F(ObsHttpTest, SpansEndpointDumpsCompletedSpans) {
   { ScopedSpan span("http_test.work"); }
   HttpResponse response = Get(server_->port(), "/spans");
@@ -321,6 +391,30 @@ TEST_F(ObsHttpTest, SilentClientIsDroppedAndServerStaysResponsive) {
   EXPECT_TRUE(nothing.value().empty());
 
   // And the next client is served normally.
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+}
+
+TEST_F(ObsHttpTest, ClientStallingMidRequestHeadIsDropped) {
+  // Worse than the silent peer: this one sends HALF a request line and
+  // then stalls, so the server is already inside its head-read loop when
+  // the poll deadline has to fire.
+  auto short_server = ObsServer::Start(0, /*io_timeout_ms=*/100);
+  ASSERT_TRUE(short_server.ok()) << short_server.status().ToString();
+  const int port = short_server.value()->port();
+
+  auto staller = net::ConnectTcp(static_cast<uint16_t>(port));
+  ASSERT_TRUE(staller.ok());
+  const std::string partial = "GET /metr";
+  ASSERT_TRUE(
+      net::SendAll(staller.value(), partial.data(), partial.size()).ok());
+  // No terminator ever arrives; the server must hang up (EOF) within its
+  // deadline, well before our 2s client-side cap.
+  auto nothing = net::RecvAll(staller.value(), 1 << 20, /*timeout_ms=*/2000);
+  net::CloseFd(staller.value());
+  ASSERT_TRUE(nothing.ok()) << nothing.status().ToString();
+  EXPECT_TRUE(nothing.value().empty()) << nothing.value();
+
+  // The accept loop survived: the next request is answered.
   EXPECT_EQ(Get(port, "/healthz").status, 200);
 }
 

@@ -355,6 +355,77 @@ TEST(ParallelExecutorTest, ExhaustedRetriesFailTheRunNeverPartialAverage) {
   obs::PrivacyLedger::Default().Clear();
 }
 
+TEST(ParallelExecutorTest, UtilizationAccountsEveryWorker) {
+  Dataset data = MakeTrainingSet(300);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.shards = 4;
+  Rng rng(17);
+  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng,
+                            /*max_threads=*/2);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  const WorkerUtilization& util = out.value().utilization;
+  ASSERT_EQ(util.workers.size(), 2u);
+  size_t shards_total = 0;
+  for (const WorkerStats& w : util.workers) {
+    EXPECT_GT(w.busy_ns, 0u) << "worker " << w.worker;
+    EXPECT_GE(w.shards_run, 1u);
+    shards_total += w.shards_run;
+  }
+  EXPECT_EQ(shards_total, 4u);
+  EXPECT_EQ(util.workers[0].worker, 0u);
+  EXPECT_EQ(util.workers[1].worker, 1u);
+  // busy_fraction is Σbusy/Σ(busy+idle): a real fraction, positive here.
+  EXPECT_GT(util.busy_fraction, 0.0);
+  EXPECT_LE(util.busy_fraction, 1.0);
+  EXPECT_GT(util.average_ns, 0u);
+}
+
+TEST(ParallelExecutorTest, SerialDelegationHasNoWorkerRows) {
+  Dataset data = MakeTrainingSet(100);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.shards = 1;
+  Rng rng(19);
+  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().utilization.workers.empty());
+}
+
+TEST(ParallelExecutorTest, WorkerMetricsRecorded) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Default().Reset();
+  Dataset data = MakeTrainingSet(200);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.shards = 2;
+  Rng rng(23);
+  ASSERT_TRUE(RunShardedPsgd(data, *loss, *schedule, options, &rng).ok());
+
+  auto snapshot = obs::MetricsRegistry::Default().Snapshot();
+  bool saw_busy = false, saw_count = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "psgd.worker_busy_seconds") {
+      saw_busy = true;
+      EXPECT_EQ(h.count, 2u);
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "psgd.worker_count") {
+      saw_count = true;
+      EXPECT_EQ(value, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_TRUE(saw_count);
+  obs::SetMetricsEnabled(false);
+}
+
 TEST(ParallelExecutorTest, RetryPolicyValidatesMaxAttempts) {
   Dataset data = MakeTrainingSet(20);
   auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();

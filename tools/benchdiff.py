@@ -20,6 +20,13 @@ rows without a throughput (accuracy-only figures), wall_seconds growing by
 more than the threshold counts instead, but only when both sides measured
 a meaningful duration (>= --min-seconds, default 0.05s — sub-50ms rows are
 noise at this scale).
+
+Rows may carry an optional "profile" object (schema boltondp-profile-v1,
+written when a bench ran under the sampling profiler). It is passed
+through merge untouched, and a throughput regression whose two sides both
+carry one gets a "hottest:" diagnostic line showing how the top self-time
+frame shifted. Rows without the field — every baseline predating the
+profiler — merge and diff exactly as before.
 """
 
 import argparse
@@ -68,6 +75,36 @@ def pct(new, old):
     return 100.0 * (new - old) / old
 
 
+def top_frame(row):
+    """(name, self_pct) of the hottest frame in a row's profile, or None.
+
+    Tolerant by design: profiles are optional and may be malformed (e.g. a
+    truncated run); any shape surprise means "no profile" rather than a
+    crash.
+    """
+    profile = row.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    frames = profile.get("frames")
+    if not isinstance(frames, list) or not frames:
+        return None
+    frame = frames[0]
+    if not isinstance(frame, dict) or "name" not in frame:
+        return None
+    return (str(frame["name"]), float(frame.get("self_pct", 0.0)))
+
+
+def profile_note(base_row, new_row):
+    """Human-readable hottest-frame shift, or None when either side lacks
+    a usable profile."""
+    b, n = top_frame(base_row), top_frame(new_row)
+    if b is None or n is None:
+        return None
+    if b[0] == n[0]:
+        return f"hottest: {n[0]} (self {b[1]:.1f}% -> {n[1]:.1f}%)"
+    return (f"hottest: {b[0]} ({b[1]:.1f}%) -> {n[0]} ({n[1]:.1f}%)")
+
+
 def cmd_diff(args):
     base = {row_key(r): r for r in load(args.baseline)}
     new = {row_key(r): r for r in load(args.candidate)}
@@ -81,9 +118,12 @@ def cmd_diff(args):
         b_tp, n_tp = b.get("rows_per_sec", 0), n.get("rows_per_sec", 0)
         if b_tp > 0 and n_tp > 0:
             if n_tp < b_tp * (1.0 - args.threshold):
-                regressions.append(
-                    f"{key[0]}/{key[1]}: throughput {b_tp:.1f} -> {n_tp:.1f} "
-                    f"rows/s ({pct(n_tp, b_tp):+.1f}%)")
+                line = (f"{key[0]}/{key[1]}: throughput {b_tp:.1f} -> "
+                        f"{n_tp:.1f} rows/s ({pct(n_tp, b_tp):+.1f}%)")
+                note = profile_note(b, n)
+                if note is not None:
+                    line += f"\n             {note}"
+                regressions.append(line)
             elif n_tp > b_tp * (1.0 + args.threshold):
                 improvements.append(
                     f"{key[0]}/{key[1]}: throughput {pct(n_tp, b_tp):+.1f}%")

@@ -4,7 +4,8 @@
 //                     --model out.model [--lambda 0.01] [--passes 10] ...
 //   boltondp evaluate --data test.libsvm --model out.model
 //   boltondp datagen  --dataset protein --scale 0.1 --out train.libsvm
-//   boltondp scrape   --port 9464 [--path /metrics]
+//   boltondp scrape   --port 9464 [--endpoint /metrics]
+//   boltondp profile  --port 9464 --seconds 2 [--format collapsed|json]
 //
 // `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
 // generates one of the built-in synthetic stand-ins instead. Multiclass
@@ -24,9 +25,11 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/trainer.h"
+#include "obs/export.h"
 #include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -106,6 +109,8 @@ int Train(int argc, char** argv) {
   std::string checkpoint_dir;
   int64_t checkpoint_every = 1;
   bool resume = false;
+  std::string profile_out;
+  int64_t profile_hz = 97;
 
   FlagParser parser;
   AddDataFlags(&parser, &data_flags);
@@ -140,6 +145,11 @@ int Train(int argc, char** argv) {
   parser.AddBool("resume", &resume,
                  "continue from the checkpoint in --checkpoint-dir instead "
                  "of starting fresh");
+  parser.AddString("profile-out", &profile_out,
+                   "sample the whole training run and write a collapsed-"
+                   "stack profile (flamegraph.pl input) to this file");
+  parser.AddInt("profile-hz", &profile_hz,
+                "per-thread sampling frequency for --profile-out");
   parser.Parse(argc, argv).CheckOK();
   if (parser.help_requested()) {
     parser.PrintHelp("boltondp train");
@@ -180,6 +190,17 @@ int Train(int argc, char** argv) {
   config.batch_size = static_cast<size_t>(batch);
   config.shards = static_cast<size_t>(shards);
   config.privacy = PrivacyParams{epsilon, delta};
+
+  // The profiler brackets the training call itself: sampling starts after
+  // data loading so the flamegraph answers "where does TRAINING time go",
+  // not "how slow is the loader". Worker threads self-register via
+  // ProfiledThreadScope inside the sharded executor.
+  const bool profiling = !profile_out.empty();
+  if (profiling) {
+    obs::ProfilerOptions profile_options;
+    profile_options.hz = static_cast<int>(profile_hz);
+    obs::Profiler::Default().Start(profile_options).CheckOK();
+  }
 
   Rng rng(data_flags.seed + 2);
   Stopwatch watch;
@@ -234,7 +255,21 @@ int Train(int argc, char** argv) {
                     .c_str());
   }
 
+  if (profiling) {
+    obs::Profiler::Default().Stop();
+    const obs::ProfileDump dump = obs::Profiler::Default().Dump();
+    obs::internal::WriteStringToFile(profile_out, obs::RenderCollapsed(dump))
+        .CheckOK();
+    std::printf(
+        "wrote profile (%llu samples @ %dHz, %.0f%% symbolized, "
+        "%llu dropped) -> %s\n",
+        static_cast<unsigned long long>(dump.samples), dump.hz,
+        dump.leaf_symbolized_fraction * 100.0,
+        static_cast<unsigned long long>(dump.dropped), profile_out.c_str());
+  }
+
   if (metrics) {
+    obs::UpdateProcessMemoryGauges();
     std::printf("%s", obs::MetricsRegistry::Default().Snapshot()
                           .ToText()
                           .c_str());
@@ -262,31 +297,26 @@ int Train(int argc, char** argv) {
   return 0;
 }
 
-// Minimal raw-TCP HTTP GET against a local obs server; exists so shell
-// tests can scrape without needing curl in the image. Prints the response
-// body; exits non-zero unless the status line says 200.
-int Scrape(int argc, char** argv) {
-  int64_t port = 0;
-  std::string path = "/metrics";
-  FlagParser parser;
-  parser.AddInt("port", &port, "obs server port on 127.0.0.1");
-  parser.AddString("path", &path, "request path, e.g. /metrics or /healthz");
-  parser.Parse(argc, argv).CheckOK();
-  if (parser.help_requested()) {
-    parser.PrintHelp("boltondp scrape");
-    return 0;
-  }
+struct HttpGetReply {
+  std::string head;  // status line + headers
+  std::string body;
+  bool ok200 = false;
+};
 
+// Raw-TCP HTTP GET against a local obs server with a bounded retry loop:
+// the server may still be binding (the smoke test races it) or wedged, so
+// refused connections and timeouts are retried kAttempts times with
+// exponential backoff plus jitter before declaring the request dead.
+// Shared by `scrape` and `profile`; exists so shell tests can talk to the
+// server without needing curl in the image.
+Result<HttpGetReply> HttpGetWithRetry(int64_t port, const std::string& path,
+                                      int io_timeout_ms) {
   const std::string request = StrFormat(
       "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
       path.c_str());
 
-  // The server may still be binding (the smoke test races it) or wedged;
-  // retry refused connections and timeouts a bounded number of times with
-  // exponential backoff before declaring the scrape dead.
   constexpr int kAttempts = 3;
   constexpr int kBackoffBaseMs = 200;
-  constexpr int kIoTimeoutMs = 5000;
   Rng jitter_rng(static_cast<uint64_t>(port) ^ 0x626f6c746f6e6a74ull);
   Status last_error = Status::OK();
   std::string text;
@@ -309,13 +339,13 @@ int Scrape(int argc, char** argv) {
       continue;
     }
     Status sent =
-        net::SendAll(fd.value(), request.data(), request.size(), kIoTimeoutMs);
+        net::SendAll(fd.value(), request.data(), request.size(), io_timeout_ms);
     if (!sent.ok()) {
       last_error = sent;
       net::CloseFd(fd.value());
       continue;
     }
-    auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024, kIoTimeoutMs);
+    auto response = net::RecvAll(fd.value(), 16 * 1024 * 1024, io_timeout_ms);
     net::CloseFd(fd.value());
     if (!response.ok()) {
       last_error = response.status();
@@ -326,20 +356,99 @@ int Scrape(int argc, char** argv) {
     break;
   }
   if (!have_response) {
-    std::fprintf(stderr,
-                 "scrape: giving up on 127.0.0.1:%lld%s after %d attempts: "
-                 "%s\n",
-                 static_cast<long long>(port), path.c_str(), kAttempts,
-                 last_error.message().c_str());
+    return last_error.WithContext(
+        StrFormat("giving up on 127.0.0.1:%lld%s after %d attempts",
+                  static_cast<long long>(port), path.c_str(), kAttempts));
+  }
+  HttpGetReply reply;
+  const size_t body_at = text.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    reply.head = text;
+  } else {
+    reply.head = text.substr(0, body_at);
+    reply.body = text.substr(body_at + 4);
+  }
+  reply.ok200 = reply.head.find(" 200 ") != std::string::npos;
+  return reply;
+}
+
+// Prints the response body; exits non-zero unless the status line says 200.
+int Scrape(int argc, char** argv) {
+  int64_t port = 0;
+  int64_t timeout_ms = 5000;
+  std::string path = "/metrics";
+  FlagParser parser;
+  parser.AddInt("port", &port, "obs server port on 127.0.0.1");
+  parser.AddString("path", &path, "request path, e.g. /metrics or /healthz");
+  parser.AddString("endpoint", &path,
+                   "alias for --path (e.g. /profile?seconds=1)");
+  parser.AddInt("timeout-ms", &timeout_ms,
+                "per-attempt IO deadline; raise it for blocking endpoints "
+                "like /profile");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp scrape");
+    return 0;
+  }
+
+  auto reply = HttpGetWithRetry(port, path, static_cast<int>(timeout_ms));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "scrape: %s\n", reply.status().message().c_str());
     return 1;
   }
-  const size_t body_at = text.find("\r\n\r\n");
-  const std::string head =
-      body_at == std::string::npos ? text : text.substr(0, body_at);
-  std::printf("%s", body_at == std::string::npos
-                        ? text.c_str()
-                        : text.c_str() + body_at + 4);
-  return head.find(" 200 ") == std::string::npos ? 1 : 0;
+  std::printf("%s", reply.value().body.c_str());
+  return reply.value().ok200 ? 0 : 1;
+}
+
+// Asks a live obs server to run its sampling profiler and prints (or
+// writes) the result — `boltondp profile --port N --seconds 2` is the
+// flamegraph front door for an already-running `train --serve-obs` process.
+int Profile(int argc, char** argv) {
+  int64_t port = 0;
+  int64_t seconds = 2, hz = 97, top = 30;
+  std::string format = "collapsed";
+  std::string out;
+  FlagParser parser;
+  parser.AddInt("port", &port, "obs server port on 127.0.0.1");
+  parser.AddInt("seconds", &seconds,
+                "sampling window; 0 snapshots a profiler the server "
+                "already has running");
+  parser.AddInt("hz", &hz, "sampling frequency per thread");
+  parser.AddString("format", &format,
+                   "collapsed (flamegraph.pl input) or json (top-frame "
+                   "summary)");
+  parser.AddInt("top", &top, "frames in the json summary");
+  parser.AddString("out", &out, "write the profile here instead of stdout");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp profile");
+    return 0;
+  }
+
+  const std::string path = StrFormat(
+      "/profile?seconds=%lld&hz=%lld&format=%s&top=%lld",
+      static_cast<long long>(seconds), static_cast<long long>(hz),
+      format.c_str(), static_cast<long long>(top));
+  // The endpoint blocks for the whole sampling window, so the IO deadline
+  // must outlast it.
+  const int timeout_ms = static_cast<int>(seconds) * 1000 + 5000;
+  auto reply = HttpGetWithRetry(port, path, timeout_ms);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "profile: %s\n", reply.status().message().c_str());
+    return 1;
+  }
+  if (!reply.value().ok200) {
+    std::fprintf(stderr, "profile: server answered non-200:\n%s\n",
+                 reply.value().body.c_str());
+    return 1;
+  }
+  if (out.empty()) {
+    std::printf("%s", reply.value().body.c_str());
+    return 0;
+  }
+  obs::internal::WriteStringToFile(out, reply.value().body).CheckOK();
+  std::printf("wrote profile -> %s\n", out.c_str());
+  return 0;
 }
 
 int Evaluate(int argc, char** argv) {
@@ -403,7 +512,7 @@ int DataGen(int argc, char** argv) {
 int Usage() {
   std::printf(
       "boltondp — bolt-on differentially private SGD analytics\n"
-      "usage: boltondp <train|evaluate|datagen|scrape> [flags]\n"
+      "usage: boltondp <train|evaluate|datagen|scrape|profile> [flags]\n"
       "       boltondp <command> --help for per-command flags\n");
   return 1;
 }
@@ -418,6 +527,7 @@ int Main(int argc, char** argv) {
   if (command == "evaluate") return Evaluate(sub_argc, sub_argv);
   if (command == "datagen") return DataGen(sub_argc, sub_argv);
   if (command == "scrape") return Scrape(sub_argc, sub_argv);
+  if (command == "profile") return Profile(sub_argc, sub_argv);
   return Usage();
 }
 

@@ -3,8 +3,10 @@
 # tree, the entire ctest suite under the sanitizers, a schema check of the
 # telemetry JSONL the CLI emits, and a ThreadSanitizer pass over the obs
 # suites (the observability HTTP server scrapes the lock-free registries
-# from a real background thread). Wired to `cmake --build build -t check`;
-# also runnable standalone from the repo root:
+# from a real background thread, and the sampling profiler fires SIGPROF
+# into running threads), plus an end-to-end profiled train whose collapsed
+# stacks and /profile JSON are schema-checked. Wired to
+# `cmake --build build -t check`; also runnable standalone from the repo root:
 #
 #   sh tools/run_checks.sh [build-dir] [tsan-build-dir]
 #
@@ -79,8 +81,34 @@ port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
     "$WORKDIR/obs.log" | head -1)
 "$CLI" scrape --port "$port" --path /metrics \
     | grep -q 'psgd_pass_seconds_bucket{le="+Inf"}'
+# The /profile endpoint must serve a valid timed profile of the live
+# process (the lingering server thread is what gets sampled here; the
+# point is the end-to-end path and the JSON schema, not hot frames).
+"$CLI" profile --port "$port" --seconds 1 --hz 251 --format json \
+    --out "$WORKDIR/live_profile.json" > /dev/null
+grep -q '"schema":"boltondp-profile-v1"' "$WORKDIR/live_profile.json"
+grep -q '"frames":\[' "$WORKDIR/live_profile.json"
 "$CLI" scrape --port "$port" --path /quitquitquit > /dev/null
 wait "$obs_pid"
+
+echo "== profiler pass (collapsed stacks from a profiled train) =="
+# A bigger dataset than the schema-check one: the profiled window must be
+# long enough to collect samples even on a fast machine (≈0.5s unsanitized
+# at 499 Hz ⇒ dozens of samples; the sanitized build only runs longer).
+"$CLI" datagen --dataset protein --scale 0.3 --seed 3 \
+    --out "$WORKDIR/prof_train.libsvm" > /dev/null
+"$CLI" train --data "$WORKDIR/prof_train.libsvm" --algo ours \
+    --epsilon 2 --lambda 0.01 --passes 30 --batch 10 \
+    --model "$WORKDIR/prof_model.txt" \
+    --profile-out "$WORKDIR/prof.collapsed" --profile-hz 499 \
+    > "$WORKDIR/prof.log"
+grep -q "wrote profile" "$WORKDIR/prof.log"
+# Collapsed-stack format: every line is "frame;frame;...;leaf COUNT" —
+# the last space-separated token must be the sample count.
+awk '
+  $NF !~ /^[0-9]+$/ { print "malformed collapsed line " NR ": " $0; exit 1 }
+  END { if (NR == 0) { print "empty profile"; exit 1 } }
+' "$WORKDIR/prof.collapsed"
 
 echo "== fault-injection pass (failpoints + checkpoint/resume, sanitized) =="
 # An armed failpoint must abort the run with a clean injected error while
@@ -122,10 +150,10 @@ cmake -S "$ROOT" -B "$TSAN_BUILD" \
   > "$TSAN_BUILD.configure.log" 2>&1 || { cat "$TSAN_BUILD.configure.log"; exit 1; }
 cmake --build "$TSAN_BUILD" -j \
   -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
-  -t parallel_executor_test -t solver_test \
+  -t profiler_test -t parallel_executor_test -t solver_test \
   -t failpoint_test -t checkpoint_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^(obs_(metrics|ledger|export|http)|parallel_executor|solver|failpoint|checkpoint)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|profiler|parallel_executor|solver|failpoint|checkpoint)_test$'
 
 echo "== bench regression gate (parallel scaling vs BENCH_PR4.json) =="
 # Gate only when python3 and the baseline are available (the baseline rows
