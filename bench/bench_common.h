@@ -163,12 +163,14 @@ inline void PrintAccuracyRow(double epsilon,
   }
 }
 
-/// Times `fn` and emits a trace span named `name`, so one-off bench timings
+/// Times `fn` and emits a trace span named `name` (with a hardware-counter
+/// delta attached when the perf pillar is on), so one-off bench timings
 /// flow through the same recorder/exporter as the library's own spans
 /// instead of a hand-rolled stopwatch.
 template <typename Fn>
 inline double TimedSeconds(const char* name, Fn&& fn) {
   obs::ScopedSpan span(name);
+  obs::CounterScope counters(&span);
   const uint64_t start_ns = obs::MonotonicNanos();
   fn();
   return static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
@@ -181,6 +183,7 @@ inline void DumpTelemetry(bool metrics, const std::string& trace_out,
                           const std::string& ledger_out) {
   if (metrics) {
     obs::UpdateProcessMemoryGauges();
+    obs::UpdatePerfGauges();
     std::fprintf(stderr, "%s",
                  obs::MetricsRegistry::Default().Snapshot().ToText().c_str());
   }
@@ -310,6 +313,12 @@ struct BenchResultRow {
   /// running. Emitted as the row's optional "profile" field — old
   /// baselines without it still merge/diff cleanly.
   std::string profile_json;
+  /// Pre-rendered counter-delta JSON (RenderPerfCountersJson) covering the
+  /// process-total counter movement since the previous row; empty when the
+  /// perf pillar is off. Emitted as the optional "counters" field —
+  /// {"available":false,...} in counter-less environments, so a missing
+  /// PMU reads as an explicit fact, not a hole in the schema.
+  std::string counters_json;
 };
 
 inline std::vector<BenchResultRow>& BenchResults() {
@@ -334,6 +343,14 @@ inline void AddBenchResult(BenchResultRow row) {
                                       kRowProfileTopFrames);
     next_from = mark;
   }
+  if (obs::PerfCountersEnabled() && row.counters_json.empty()) {
+    // Same windowing as the profile: the counter movement since the last
+    // row is this row's work (benches record right after measuring).
+    static obs::PerfCounterDelta last_totals;
+    const obs::PerfCounterDelta totals = obs::ProcessPerfTotals();
+    row.counters_json = obs::RenderPerfCountersJson(totals - last_totals);
+    last_totals = totals;
+  }
   BenchResults().push_back(std::move(row));
 }
 
@@ -354,6 +371,10 @@ inline std::string BenchResultsToJson() {
       // Already-rendered JSON object; embedded verbatim, not re-escaped.
       out += ",\"profile\":";
       out += r.profile_json;
+    }
+    if (!r.counters_json.empty()) {
+      out += ",\"counters\":";
+      out += r.counters_json;
     }
     out += "}";
   }
@@ -406,6 +427,12 @@ struct CommonFlags {
       parser.PrintHelp(program);
       std::exit(0);
     }
+    // Benches always run with the counter pillar on: rows in --json-out
+    // carry per-row counter deltas (an explicit {"available":false,...}
+    // object when the PMU is unreachable), and the per-scope reads are two
+    // fd reads per span — noise at bench granularity.
+    obs::SetCurrentThreadName("main");
+    obs::SetPerfCountersEnabled(true);
     if (metrics) obs::SetMetricsEnabled(true);
     if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
     if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);

@@ -41,8 +41,8 @@ int Run(int argc, char** argv) {
   std::printf("== Parallel scaling: sharded bolt-on PSGD (total wall "
               "seconds; b=1, d=50, k=2, strongly convex (eps,delta)-DP) "
               "==\n\n");
-  std::printf("  %-10s %-8s %-12s %-10s %-12s\n", "m", "shards", "seconds",
-              "speedup", "rows/sec");
+  std::printf("  %-10s %-8s %-12s %-10s %-12s %-8s %-10s\n", "m", "shards",
+              "seconds", "speedup", "rows/sec", "ipc", "cache-miss");
 
   auto loss = MakeLogisticLoss(1e-4, 1e4).MoveValue();
   std::vector<size_t> sizes;
@@ -54,13 +54,21 @@ int Run(int argc, char** argv) {
         GenerateTwoGaussians(m, 50, 1.5, flags.seed + m).MoveValue();
     double serial_seconds = 0.0;
     for (size_t shards : {1, 2, 4, 8}) {
+      const obs::PerfCounterDelta before = obs::ProcessPerfTotals();
       const double seconds = RunSeconds(data, *loss, shards, flags.seed);
+      const obs::PerfCounterDelta run = obs::ProcessPerfTotals() - before;
       if (shards == 1) serial_seconds = seconds;
       const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
       const double rows_per_sec =
           seconds > 0 ? static_cast<double>(m) / seconds : 0;
-      std::printf("  %-10zu %-8zu %-12.4f %-10.2f %-12.0f\n", m, shards,
-                  seconds, speedup, rows_per_sec);
+      if (run.available) {
+        std::printf("  %-10zu %-8zu %-12.4f %-10.2f %-12.0f %-8.2f %-10.4f\n",
+                    m, shards, seconds, speedup, rows_per_sec, run.Ipc(),
+                    run.CacheMissRate());
+      } else {
+        std::printf("  %-10zu %-8zu %-12.4f %-10.2f %-12.0f %-8s %-10s\n", m,
+                    shards, seconds, speedup, rows_per_sec, "-", "-");
+      }
       BenchResultRow row;
       row.figure = "parallel_scaling";
       row.name = StrFormat("shards=%zu/m=%zu", shards, m);

@@ -258,16 +258,43 @@ std::string RenderProfileSummaryJson(const ProfileDump& dump, size_t top_n) {
   return out;
 }
 
-std::string RenderSpanJson(const SpanRecord& s) {
+std::string RenderPerfCountersJson(const PerfCounterDelta& d) {
+  if (!d.available) {
+    return StrFormat("{\"available\":false,\"task_clock_ns\":%llu}",
+                     static_cast<unsigned long long>(d.task_clock_ns));
+  }
   return StrFormat(
+      "{\"available\":true,\"cycles\":%llu,\"instructions\":%llu,"
+      "\"cache_references\":%llu,\"cache_misses\":%llu,"
+      "\"branch_misses\":%llu,\"task_clock_ns\":%llu,"
+      "\"ipc\":%.4f,\"cache_miss_rate\":%.6f,\"branch_miss_rate\":%.6f}",
+      static_cast<unsigned long long>(d.cycles),
+      static_cast<unsigned long long>(d.instructions),
+      static_cast<unsigned long long>(d.cache_references),
+      static_cast<unsigned long long>(d.cache_misses),
+      static_cast<unsigned long long>(d.branch_misses),
+      static_cast<unsigned long long>(d.task_clock_ns), d.Ipc(),
+      d.CacheMissRate(), d.BranchMissRate());
+}
+
+std::string RenderSpanJson(const SpanRecord& s) {
+  std::string out = StrFormat(
       "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"depth\":%d,"
-      "\"start_ns\":%llu,\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu}",
+      "\"start_ns\":%llu,\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu,"
+      "\"thread_name\":\"%s\"",
       JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.id),
       static_cast<unsigned long long>(s.parent_id), s.depth,
       static_cast<unsigned long long>(s.start_ns),
       static_cast<unsigned long long>(s.duration_ns),
       static_cast<unsigned long long>(s.count),
-      static_cast<unsigned long long>(s.thread_id));
+      static_cast<unsigned long long>(s.thread_id),
+      JsonEscape(s.thread_name).c_str());
+  if (s.has_counters) {
+    out += ",\"counters\":";
+    out += RenderPerfCountersJson(s.counters);
+  }
+  out += '}';
+  return out;
 }
 
 std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans) {
@@ -276,6 +303,50 @@ std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans) {
     out += RenderSpanJson(s);
     out += '\n';
   }
+  return out;
+}
+
+std::string RenderChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  append(
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"boltondp\"}}");
+  // One thread_name metadata event per distinct tid (first record wins —
+  // names are set before the thread records anything).
+  std::map<uint64_t, std::string> thread_names;
+  for (const SpanRecord& s : spans) {
+    thread_names.emplace(s.thread_id,
+                         s.thread_name.empty() ? "thread" : s.thread_name);
+  }
+  for (const auto& [tid, name] : thread_names) {
+    append(StrFormat(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%s\"}}",
+        static_cast<unsigned long long>(tid), JsonEscape(name).c_str()));
+  }
+  for (const SpanRecord& s : spans) {
+    std::string event = StrFormat(
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"name\":\"%s\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"count\":%llu",
+        static_cast<unsigned long long>(s.thread_id),
+        JsonEscape(s.name).c_str(),
+        static_cast<double>(s.start_ns) / 1000.0,
+        static_cast<double>(s.duration_ns) / 1000.0,
+        static_cast<unsigned long long>(s.count));
+    if (s.has_counters) {
+      event += ",\"counters\":";
+      event += RenderPerfCountersJson(s.counters);
+    }
+    event += "}}";
+    append(event);
+  }
+  out += "]\n";
   return out;
 }
 

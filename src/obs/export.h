@@ -6,6 +6,7 @@
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 
@@ -81,6 +82,15 @@ std::string RenderCollapsed(const ProfileDump& dump);
 /// total = samples where it appears anywhere (once per sample).
 std::string RenderProfileSummaryJson(const ProfileDump& dump, size_t top_n);
 
+/// -------- Hardware counters --------
+
+/// A PerfCounterDelta as a single-line JSON object (no trailing newline).
+/// When `available`, carries the raw counts plus derived ipc /
+/// cache_miss_rate / branch_miss_rate; otherwise
+/// {"available":false,"task_clock_ns":N} so a counter-less environment is
+/// explicit rather than a missing field.
+std::string RenderPerfCountersJson(const PerfCounterDelta& delta);
+
 /// -------- Trace spans --------
 
 /// One span as a single-line JSON object (no trailing newline).
@@ -88,6 +98,13 @@ std::string RenderSpanJson(const SpanRecord& span);
 
 /// One JSON object per line, in completion order.
 std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans);
+
+/// Chrome trace-event JSON (the array form): "M" metadata events naming
+/// the process and each thread track, then one "X" complete event per
+/// span (ts/dur in microseconds, tid = the span's thread_id) with count
+/// and any attached counter delta in `args`. Loadable in chrome://tracing
+/// and ui.perfetto.dev.
+std::string RenderChromeTrace(const std::vector<SpanRecord>& spans);
 
 }  // namespace obs
 }  // namespace bolton

@@ -291,9 +291,11 @@ std::string ObsServer::HandleRequest(const std::string& method,
   SplitTarget(target, &path, &query);
 
   if (path == "/metrics") {
-    // Prometheus scrapers key on this exact version tag. Memory gauges are
-    // polled on read: every scrape sees current RSS, not a stale sample.
+    // Prometheus scrapers key on this exact version tag. Memory and perf
+    // gauges are polled on read: every scrape sees current values, not a
+    // stale sample.
     UpdateProcessMemoryGauges();
+    UpdatePerfGauges();
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     return RenderPrometheus(MetricsRegistry::Default().Snapshot());
   }
@@ -335,6 +337,15 @@ std::string ObsServer::HandleRequest(const std::string& method,
     return RenderLedgerJsonl(events);
   }
   if (path == "/spans") {
+    const std::string format = QueryStringParam(query, "format", "jsonl");
+    if (format == "chrome") {
+      *content_type = "application/json";
+      return RenderChromeTrace(TraceRecorder::Default().Snapshot());
+    }
+    if (format != "jsonl") {
+      *http_status = 400;
+      return "format must be 'jsonl' or 'chrome'\n";
+    }
     *content_type = "application/jsonl";
     return RenderSpansJsonl(TraceRecorder::Default().Snapshot());
   }

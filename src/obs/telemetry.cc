@@ -1,14 +1,17 @@
 #include "obs/telemetry.h"
 
+#include <pthread.h>
 #include <sys/resource.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -29,6 +32,33 @@ uint64_t CurrentThreadId() {
   static std::atomic<uint64_t> next{1};
   thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+namespace {
+std::string& ThreadNameSlot() {
+  thread_local std::string name;
+  return name;
+}
+}  // namespace
+
+void SetCurrentThreadName(const std::string& name) {
+  ThreadNameSlot() = name;
+  // The kernel limit is 16 bytes including the terminator.
+  char truncated[16];
+  std::snprintf(truncated, sizeof(truncated), "%s", name.c_str());
+  ::pthread_setname_np(::pthread_self(), truncated);
+}
+
+std::string CurrentThreadName() {
+  std::string& slot = ThreadNameSlot();
+  if (!slot.empty()) return slot;
+  char kernel_name[16] = {0};
+  if (::pthread_getname_np(::pthread_self(), kernel_name,
+                           sizeof(kernel_name)) == 0 &&
+      kernel_name[0] != '\0') {
+    return kernel_name;
+  }
+  return "thread";
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -66,6 +96,7 @@ void SetAllEnabled(bool enabled) {
   SetMetricsEnabled(enabled);
   TraceRecorder::Default().SetEnabled(enabled);
   PrivacyLedger::Default().SetEnabled(enabled);
+  SetPerfCountersEnabled(enabled);
 }
 
 void UpdateProcessMemoryGauges() {
@@ -74,6 +105,8 @@ void UpdateProcessMemoryGauges() {
       MetricsRegistry::Default().GetGauge("process.max_rss_bytes");
   static Gauge* rss = MetricsRegistry::Default().GetGauge("process.rss_bytes");
   static Gauge* vm = MetricsRegistry::Default().GetGauge("process.vm_bytes");
+  static Gauge* peak_rss =
+      MetricsRegistry::Default().GetGauge("process.peak_rss_bytes");
 
   struct rusage usage {};
   if (::getrusage(RUSAGE_SELF, &usage) == 0) {
@@ -90,6 +123,21 @@ void UpdateProcessMemoryGauges() {
       rss->Set(static_cast<double>(rss_pages) * page);
     }
     std::fclose(f);
+  }
+  // /proc/self/status VmHWM: the peak resident set, which ru_maxrss can
+  // under-report after memory is returned (it is never reset, but VmHWM
+  // is the kernel's authoritative high-water mark).
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+        peak_rss->Set(static_cast<double>(kb) * 1024.0);
+        break;
+      }
+    }
+    std::fclose(status);
   }
 }
 

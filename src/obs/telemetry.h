@@ -24,15 +24,26 @@ uint64_t MonotonicNanos();
 /// A stable small integer for the calling thread, used to label spans.
 uint64_t CurrentThreadId();
 
+/// Names the calling thread for telemetry output ("main", "psgd-shard-3").
+/// Also forwards to pthread_setname_np (truncated to the kernel's 15-char
+/// limit) so the name shows up in /proc and debuggers.
+void SetCurrentThreadName(const std::string& name);
+
+/// The name set via SetCurrentThreadName, else the kernel name from
+/// pthread_getname_np, else "thread". Never empty.
+std::string CurrentThreadName();
+
 /// Escapes `s` for embedding inside a double-quoted JSON string.
 std::string JsonEscape(const std::string& s);
 
-/// Master switch: flips metrics, trace, and ledger recording together.
+/// Master switch: flips metrics, trace, ledger, and perf-counter
+/// recording together.
 void SetAllEnabled(bool enabled);
 
 /// Refreshes the process memory gauges — process.rss_bytes and
 /// process.vm_bytes from /proc/self/statm, process.max_rss_bytes from
-/// getrusage(2) — in the default registry. Polled on read: the obs HTTP
+/// getrusage(2), process.peak_rss_bytes from VmHWM in /proc/self/status
+/// — in the default registry. Polled on read: the obs HTTP
 /// server calls this on every /metrics scrape and the CLI/bench dump paths
 /// call it before rendering, so the gauges are fresh wherever they are
 /// observed without a dedicated poller thread.

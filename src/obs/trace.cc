@@ -72,6 +72,11 @@ ScopedSpan::~ScopedSpan() {
   record.start_ns = start_;
   record.duration_ns = end - start_;
   record.thread_id = CurrentThreadId();
+  record.thread_name = CurrentThreadName();
+  if (has_counters_) {
+    record.has_counters = true;
+    record.counters = counters_;
+  }
   TraceRecorder::Default().Record(std::move(record));
 }
 
@@ -89,6 +94,7 @@ void PhaseAccumulator::Flush() {
     record.duration_ns = total_ns_;
     record.count = count_;
     record.thread_id = CurrentThreadId();
+    record.thread_name = CurrentThreadName();
     recorder.Record(std::move(record));
   }
   total_ns_ = 0;

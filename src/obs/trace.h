@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "obs/telemetry.h"
 #include "util/status.h"
 
@@ -33,6 +34,14 @@ struct SpanRecord {
   uint64_t duration_ns = 0;
   uint64_t count = 1;  // intervals aggregated into this record
   uint64_t thread_id = 0;
+  /// Human-readable name of the recording thread ("main", "psgd-shard-3";
+  /// see SetCurrentThreadName in obs/telemetry.h) so JSONL and
+  /// Chrome-trace output read without a tid lookup table.
+  std::string thread_name;
+  /// Hardware-counter delta over the span, when a CounterScope was
+  /// attached (obs/perf_counters.h); has_counters gates the export.
+  bool has_counters = false;
+  PerfCounterDelta counters;
 };
 
 /// Collects finished spans; thread-safe appends, JSONL export.
@@ -92,6 +101,15 @@ class ScopedSpan {
   /// 0 when tracing is disabled.
   uint64_t id() const { return id_; }
 
+  /// Attaches a perf-counter delta (normally via CounterScope, whose
+  /// destructor runs before the span's) to the record this span will
+  /// emit. A no-op on an inactive (tracing-disabled) span.
+  void AttachCounters(const PerfCounterDelta& delta) {
+    if (!active_) return;
+    counters_ = delta;
+    has_counters_ = true;
+  }
+
  private:
   const char* name_;
   uint64_t id_ = 0;
@@ -99,6 +117,8 @@ class ScopedSpan {
   uint64_t start_ = 0;
   int depth_ = 0;
   bool active_ = false;
+  bool has_counters_ = false;
+  PerfCounterDelta counters_;
 };
 
 /// Accumulates many short same-named intervals (e.g. the gradient phase of

@@ -7,7 +7,9 @@
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
@@ -172,6 +174,15 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
       obs::MetricsRegistry::Default().GetGauge("psgd.worker_count");
   obs::Gauge* worker_busy_frac =
       obs::MetricsRegistry::Default().GetGauge("psgd.worker_busy_frac");
+  // Per-worker hardware-counter distributions (only observed when the PMU
+  // delivered real counts — a task-clock-only run records nothing here).
+  obs::Histogram* worker_ipc = obs::MetricsRegistry::Default().GetHistogram(
+      "psgd.worker_ipc",
+      {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0});
+  obs::Histogram* worker_cache_miss_rate =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "psgd.worker_cache_miss_rate",
+          {0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7});
   shard_count->Set(static_cast<double>(s));
 
   // One attempt: fault-injection gate, then PSGD from the shard's
@@ -186,6 +197,7 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
   std::vector<Result<PsgdOutput>> results(s, Result<PsgdOutput>(PsgdOutput()));
   auto run_shard = [&](size_t j) {
     obs::ScopedSpan shard_span("psgd.shard");
+    obs::CounterScope shard_counters(&shard_span);
     const uint64_t start_ns = obs::MonotonicNanos();
     // Timing-only stream for backoff jitter, decorrelated from the shard
     // stream by a distinct tweak word.
@@ -219,6 +231,10 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     stats.spawn_ns = worker_start_ns - dispatch_start_ns;
     obs::ProfiledThreadScope profile_scope;
     obs::ScopedSpan worker_span("psgd.worker");
+    // Counters over the worker's whole lifetime, on the worker's own
+    // thread (perf events are per-thread: the caller cannot observe
+    // cycles spent here). The scope closes before the span below.
+    obs::CounterScope worker_counters(&worker_span, &stats.counters);
     for (size_t j = w; j < s; j += worker_count) {
       const uint64_t shard_start_ns = obs::MonotonicNanos();
       shard_queue_wait->Observe(
@@ -246,7 +262,12 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     std::vector<std::thread> workers;
     workers.reserve(worker_count);
     for (size_t w = 0; w < worker_count; ++w) {
-      workers.emplace_back([&, w]() { run_worker(w); });
+      workers.emplace_back([&, w]() {
+        // Named here, not in run_worker: the serial fallback runs on the
+        // caller's thread, which must keep its own name.
+        obs::SetCurrentThreadName(StrFormat("psgd-shard-%zu", w));
+        run_worker(w);
+      });
     }
     for (std::thread& worker : workers) worker.join();
   }
@@ -307,6 +328,10 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     worker_busy->Observe(static_cast<double>(stats.busy_ns) * 1e-9);
     worker_idle->Observe(static_cast<double>(stats.idle_ns) * 1e-9);
     worker_spawn->Observe(static_cast<double>(stats.spawn_ns) * 1e-9);
+    if (stats.counters.available) {
+      worker_ipc->Observe(stats.counters.Ipc());
+      worker_cache_miss_rate->Observe(stats.counters.CacheMissRate());
+    }
     total_busy_ns += stats.busy_ns;
     total_alive_ns += stats.busy_ns + stats.idle_ns;
   }

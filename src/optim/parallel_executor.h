@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "linalg/vector.h"
+#include "obs/perf_counters.h"
 #include "optim/loss.h"
 #include "optim/psgd.h"
 #include "optim/schedule.h"
@@ -31,6 +32,11 @@ struct WorkerStats {
   /// descheduled the worker between shards (oversubscription).
   uint64_t queue_wait_ns = 0;
   size_t shards_run = 0;   // shards this worker executed
+  /// Hardware-counter delta over the worker's whole lifetime (IPC and miss
+  /// rates via the obs::PerfCounterDelta accessors). available=false when
+  /// the PMU is unreachable or the perf pillar is disabled; task_clock_ns
+  /// still carries the worker's on-CPU time at any perf tier.
+  obs::PerfCounterDelta counters;
 };
 
 /// Aggregate utilization over a sharded run: per-worker rows plus the

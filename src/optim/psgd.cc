@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
@@ -67,6 +68,7 @@ Result<PsgdOutput> RunPsgd(
   }
 
   obs::ScopedSpan run_span("psgd.run");
+  obs::CounterScope run_counters(&run_span);
 
   const size_t m = data.size();
   const size_t dim = data.dim();
@@ -120,6 +122,7 @@ Result<PsgdOutput> RunPsgd(
   for (size_t pass = first_pass; pass <= options.passes; ++pass) {
     BOLTON_FAILPOINT("psgd.pass");
     obs::ScopedSpan pass_span("psgd.pass");
+    obs::CounterScope pass_counters(&pass_span);
     obs::PhaseAccumulator gradient_phase("psgd.gradient");
     obs::PhaseAccumulator noise_phase("psgd.noise_draw");
     obs::PhaseAccumulator projection_phase("psgd.projection");

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
@@ -39,6 +40,7 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
   }
 
   obs::ScopedSpan run_span("sparse_psgd.run");
+  obs::CounterScope run_counters(&run_span);
 
   const size_t m = data.size();
   const size_t dim = data.dim();
@@ -64,6 +66,7 @@ Result<PsgdOutput> RunSparseLogisticPsgd(const SparseDataset& data,
   for (size_t pass = 1; pass <= options.passes; ++pass) {
     BOLTON_FAILPOINT("sparse_psgd.pass");
     obs::ScopedSpan pass_span("psgd.pass");
+    obs::CounterScope pass_counters(&pass_span);
     obs::PhaseAccumulator gradient_phase("psgd.gradient");
     obs::PhaseAccumulator noise_phase("psgd.noise_draw");
     obs::PhaseAccumulator projection_phase("psgd.projection");

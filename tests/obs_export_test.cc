@@ -177,6 +177,77 @@ TEST_F(ObsExportTest, MemberSerializersDelegateToSharedRenderers) {
   EXPECT_EQ(RenderSpansJsonl({span}), RenderSpanJson(span) + "\n");
 }
 
+// Golden output for the Chrome/Perfetto trace-event export: a JSON array
+// holding process/thread metadata ("M") events followed by one complete
+// ("X") event per span, with ts/dur converted ns -> us and counter deltas
+// in args. Byte-for-byte so any schema drift is a conscious change.
+TEST_F(ObsExportTest, ChromeTraceGoldenOutput) {
+  SpanRecord root;
+  root.name = "solver.run";
+  root.id = 1;
+  root.start_ns = 1000;
+  root.duration_ns = 500000;
+  root.thread_id = 1;
+  root.thread_name = "main";
+
+  SpanRecord shard;
+  shard.name = "psgd.shard";
+  shard.id = 2;
+  shard.parent_id = 1;
+  shard.depth = 1;
+  shard.start_ns = 2500;
+  shard.duration_ns = 250000;
+  shard.count = 1;
+  shard.thread_id = 2;
+  shard.thread_name = "psgd-shard-0";
+  shard.has_counters = true;
+  shard.counters.task_clock_ns = 240000;
+
+  const std::string trace = RenderChromeTrace({root, shard});
+  EXPECT_EQ(trace,
+            "[{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"boltondp\"}},\n"
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"main\"}},\n"
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"psgd-shard-0\"}},\n"
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"solver.run\","
+            "\"ts\":1.000,\"dur\":500.000,\"args\":{\"count\":1}},\n"
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"name\":\"psgd.shard\","
+            "\"ts\":2.500,\"dur\":250.000,\"args\":{\"count\":1,"
+            "\"counters\":{\"available\":false,"
+            "\"task_clock_ns\":240000}}}]\n");
+}
+
+// Spans from the same thread share one metadata event; unnamed threads
+// get the "thread" placeholder rather than an empty track name.
+TEST_F(ObsExportTest, ChromeTraceDeduplicatesThreadsAndNamesUnnamed) {
+  SpanRecord a;
+  a.name = "a";
+  a.thread_id = 9;
+  SpanRecord b;
+  b.name = "b";
+  b.thread_id = 9;
+  const std::string trace = RenderChromeTrace({a, b});
+  size_t metadata_events = 0;
+  for (size_t at = trace.find("\"thread_name\""); at != std::string::npos;
+       at = trace.find("\"thread_name\"", at + 1)) {
+    ++metadata_events;
+  }
+  EXPECT_EQ(metadata_events, 1u);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"thread\"}"), std::string::npos)
+      << trace;
+}
+
+// An empty snapshot still renders a valid document (process metadata
+// only), so `--trace-chrome-out` never writes malformed JSON.
+TEST_F(ObsExportTest, ChromeTraceEmptySnapshotIsValidArray) {
+  const std::string trace = RenderChromeTrace({});
+  EXPECT_EQ(trace,
+            "[{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"boltondp\"}}]\n");
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace bolton

@@ -326,6 +326,22 @@ TEST_F(ObsHttpTest, SpansEndpointDumpsCompletedSpans) {
   EXPECT_NE(response.body.find("\"parent\":"), std::string::npos);
 }
 
+TEST_F(ObsHttpTest, SpansChromeFormatRendersTraceEventJson) {
+  SetCurrentThreadName("http-test");
+  { ScopedSpan span("http_test.chrome"); }
+  HttpResponse response = Get(server_->port(), "/spans?format=chrome");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/json"), std::string::npos);
+  EXPECT_EQ(response.body.front(), '[');
+  EXPECT_NE(response.body.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"http-test\""), std::string::npos)
+      << response.body;
+
+  // Unknown formats are a client error, not silently the default.
+  EXPECT_EQ(Get(server_->port(), "/spans?format=nope").status, 400);
+}
+
 TEST_F(ObsHttpTest, UnknownPathIs404AndPostIs405) {
   EXPECT_EQ(Get(server_->port(), "/nope").status, 404);
 

@@ -384,6 +384,31 @@ TEST(ParallelExecutorTest, UtilizationAccountsEveryWorker) {
   EXPECT_GT(util.average_ns, 0u);
 }
 
+TEST(ParallelExecutorTest, WorkersCarryPerfCounterDeltas) {
+  obs::SetPerfCountersEnabled(true);
+  Dataset data = MakeTrainingSet(300);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.shards = 2;
+  Rng rng(29);
+  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng,
+                            /*max_threads=*/2);
+  obs::SetPerfCountersEnabled(false);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.value().utilization.workers.size(), 2u);
+  for (const WorkerStats& w : out.value().utilization.workers) {
+    // task_clock_ns works at every degradation tier — a worker that did
+    // shard work must show on-CPU time even without a PMU.
+    EXPECT_GT(w.counters.task_clock_ns, 0u) << "worker " << w.worker;
+    if (obs::PerfHardwareAvailable()) {
+      EXPECT_TRUE(w.counters.available);
+      EXPECT_GT(w.counters.cycles, 0u);
+    }
+  }
+}
+
 TEST(ParallelExecutorTest, SerialDelegationHasNoWorkerRows) {
   Dataset data = MakeTrainingSet(100);
   auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();

@@ -27,6 +27,14 @@ through merge untouched, and a throughput regression whose two sides both
 carry one gets a "hottest:" diagnostic line showing how the top self-time
 frame shifted. Rows without the field — every baseline predating the
 profiler — merge and diff exactly as before.
+
+Rows may also carry an optional "counters" object (hardware-counter delta
+for the row's work: ipc, cache_miss_rate, branch_miss_rate, plus the raw
+counts, or {"available": false, ...} where the PMU was unreachable). A
+throughput regression whose two sides both carry available counters gets a
+"counters:" diagnostic line showing the IPC and cache-miss-rate shift —
+distinguishing "got memory-bound" from "doing more work". Counter-less
+baselines (for example BENCH_PR4.json) diff exactly as before.
 """
 
 import argparse
@@ -37,8 +45,13 @@ SCHEMA = "boltondp-bench-v1"
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        sys.exit(f"cannot read {path}: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"{path}: not valid JSON ({err})")
     if doc.get("schema") != SCHEMA:
         sys.exit(f"{path}: expected schema '{SCHEMA}', got {doc.get('schema')!r}")
     results = doc.get("results")
@@ -105,6 +118,24 @@ def profile_note(base_row, new_row):
     return (f"hottest: {b[0]} ({b[1]:.1f}%) -> {n[0]} ({n[1]:.1f}%)")
 
 
+def counters_note(base_row, new_row):
+    """Human-readable IPC / cache-miss shift, or None when either side
+    lacks available hardware counters. Tolerant like top_frame: malformed
+    counter objects mean "no note", never a crash."""
+    try:
+        b, n = base_row.get("counters"), new_row.get("counters")
+        if not (isinstance(b, dict) and isinstance(n, dict)):
+            return None
+        if not (b.get("available") and n.get("available")):
+            return None
+        return (f"counters: ipc {float(b['ipc']):.2f} -> "
+                f"{float(n['ipc']):.2f}, cache-miss "
+                f"{100 * float(b['cache_miss_rate']):.2f}% -> "
+                f"{100 * float(n['cache_miss_rate']):.2f}%")
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def cmd_diff(args):
     base = {row_key(r): r for r in load(args.baseline)}
     new = {row_key(r): r for r in load(args.candidate)}
@@ -120,9 +151,9 @@ def cmd_diff(args):
             if n_tp < b_tp * (1.0 - args.threshold):
                 line = (f"{key[0]}/{key[1]}: throughput {b_tp:.1f} -> "
                         f"{n_tp:.1f} rows/s ({pct(n_tp, b_tp):+.1f}%)")
-                note = profile_note(b, n)
-                if note is not None:
-                    line += f"\n             {note}"
+                for note in (profile_note(b, n), counters_note(b, n)):
+                    if note is not None:
+                        line += f"\n             {note}"
                 regressions.append(line)
             elif n_tp > b_tp * (1.0 + args.threshold):
                 improvements.append(

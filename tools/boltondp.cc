@@ -104,7 +104,7 @@ int Train(int argc, char** argv) {
   double epsilon = 1.0, delta = 0.0, lambda = 0.0, huber_h = 0.1;
   int64_t passes = 10, batch = 50, shards = 1;
   bool metrics = false;
-  std::string trace_out, ledger_out;
+  std::string trace_out, trace_chrome_out, ledger_out;
   int64_t serve_obs = -1, serve_obs_linger = 0;
   std::string checkpoint_dir;
   int64_t checkpoint_every = 1;
@@ -129,6 +129,9 @@ int Train(int argc, char** argv) {
   parser.AddBool("metrics", &metrics, "print a metrics dump after training");
   parser.AddString("trace-out", &trace_out,
                    "write trace spans as JSONL to this file");
+  parser.AddString("trace-chrome-out", &trace_chrome_out,
+                   "write the span timeline as Chrome trace-event JSON "
+                   "(loadable in chrome://tracing / ui.perfetto.dev)");
   parser.AddString("ledger-out", &ledger_out,
                    "write the privacy-spend ledger as JSONL to this file");
   parser.AddInt("serve-obs", &serve_obs,
@@ -156,9 +159,17 @@ int Train(int argc, char** argv) {
     return 0;
   }
 
+  obs::SetCurrentThreadName("main");
   if (metrics) obs::SetMetricsEnabled(true);
-  if (!trace_out.empty()) obs::TraceRecorder::Default().SetEnabled(true);
+  if (!trace_out.empty() || !trace_chrome_out.empty()) {
+    obs::TraceRecorder::Default().SetEnabled(true);
+  }
   if (!ledger_out.empty()) obs::PrivacyLedger::Default().SetEnabled(true);
+  // Hardware counters ride along with whichever pillar is on: spans gain
+  // counter deltas, the metrics dump gains the perf_* gauges.
+  if (metrics || !trace_out.empty() || !trace_chrome_out.empty()) {
+    obs::SetPerfCountersEnabled(true);
+  }
   // Injected faults (BOLTON_FAILPOINTS) show up in the metrics snapshot and
   // the privacy ledger; free when no failpoint is armed.
   obs::InstallFailpointObsBridge();
@@ -270,6 +281,7 @@ int Train(int argc, char** argv) {
 
   if (metrics) {
     obs::UpdateProcessMemoryGauges();
+    obs::UpdatePerfGauges();
     std::printf("%s", obs::MetricsRegistry::Default().Snapshot()
                           .ToText()
                           .c_str());
@@ -278,6 +290,15 @@ int Train(int argc, char** argv) {
     obs::TraceRecorder::Default().WriteJsonl(trace_out).CheckOK();
     std::printf("wrote %zu trace spans -> %s\n",
                 obs::TraceRecorder::Default().size(), trace_out.c_str());
+  }
+  if (!trace_chrome_out.empty()) {
+    obs::internal::WriteStringToFile(
+        trace_chrome_out,
+        obs::RenderChromeTrace(obs::TraceRecorder::Default().Snapshot()))
+        .CheckOK();
+    std::printf("wrote %zu spans as Chrome trace -> %s\n",
+                obs::TraceRecorder::Default().size(),
+                trace_chrome_out.c_str());
   }
   if (!ledger_out.empty()) {
     obs::PrivacyLedger::Default().WriteJsonl(ledger_out).CheckOK();
