@@ -19,14 +19,18 @@
 #include "data/synthetic.h"
 #include "ml/metrics.h"
 #include "ml/trainer.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -203,6 +207,32 @@ inline void DumpTelemetry(bool metrics, const std::string& trace_out,
   }
 }
 
+/// google-benchmark binaries (and any bench run where editing flags is
+/// awkward) pick up the structured-logging surfaces from the environment:
+/// BOLTON_LOG_JSONL=FILE mirrors every log event to FILE as JSONL, and
+/// BOLTON_POSTMORTEM_DIR=DIR arms the crash handler so a dying bench leaves
+/// a bolton-postmortem-v1 report behind. Both are no-ops when unset.
+inline void EnableCrashReportingFromEnv() {
+  const char* jsonl = std::getenv("BOLTON_LOG_JSONL");
+  if (jsonl != nullptr && jsonl[0] != '\0') {
+    Status status = OpenLogJsonlFile(jsonl);
+    if (!status.ok()) {
+      std::fprintf(stderr, "BOLTON_LOG_JSONL ignored: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  const char* dir = std::getenv("BOLTON_POSTMORTEM_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    obs::PostmortemOptions options;
+    options.dir = dir;
+    Status status = obs::InstallCrashHandler(options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "BOLTON_POSTMORTEM_DIR ignored: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
 /// google-benchmark binaries have no FlagParser pass; BOLTON_TELEMETRY=1 in
 /// the environment turns on all three pillars instead. Returns whether it
 /// did, so main can DumpTelemetry at shutdown. BOLTON_OBS_PORT=N
@@ -210,6 +240,7 @@ inline void DumpTelemetry(bool metrics, const std::string& trace_out,
 /// (N=0 for an ephemeral port, printed to stderr) for the whole run.
 inline bool EnableTelemetryFromEnv() {
   bool enabled = false;
+  EnableCrashReportingFromEnv();
   const char* env = std::getenv("BOLTON_TELEMETRY");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') {
     obs::SetAllEnabled(true);
@@ -355,7 +386,12 @@ inline void AddBenchResult(BenchResultRow row) {
 }
 
 inline std::string BenchResultsToJson() {
-  std::string out = "{\"schema\":\"boltondp-bench-v1\",\"results\":[";
+  // The build object pins every baseline to the binary that produced it, so
+  // a benchdiff regression can be traced to a compiler/SIMD/sha change
+  // instead of being mistaken for a code regression.
+  std::string out = "{\"schema\":\"boltondp-bench-v1\",\"build\":";
+  out += obs::RenderBuildInfoJson();
+  out += ",\"results\":[";
   bool first = true;
   for (const BenchResultRow& r : BenchResults()) {
     if (!first) out += ",";
@@ -395,6 +431,8 @@ struct CommonFlags {
   int64_t serve_obs = -1;
   std::string profile_out;
   int64_t profile_hz = 0;
+  std::string log_jsonl;
+  std::string postmortem_dir;
 
   Status Parse(int argc, char** argv, const char* program) {
     FlagParser parser;
@@ -422,10 +460,22 @@ struct CommonFlags {
     parser.AddInt("profile-hz", &profile_hz,
                   "per-thread sampling frequency for --profile-out "
                   "(0 = the 97Hz default)");
+    parser.AddString("log-jsonl", &log_jsonl,
+                     "mirror every log event to this file as JSONL");
+    parser.AddString("postmortem-dir", &postmortem_dir,
+                     "arm the crash handler; a crash leaves a "
+                     "bolton-postmortem-v1 report in this directory");
     BOLTON_RETURN_IF_ERROR(parser.Parse(argc, argv));
     if (parser.help_requested()) {
       parser.PrintHelp(program);
       std::exit(0);
+    }
+    EnableCrashReportingFromEnv();
+    if (!log_jsonl.empty()) BOLTON_RETURN_IF_ERROR(OpenLogJsonlFile(log_jsonl));
+    if (!postmortem_dir.empty()) {
+      obs::PostmortemOptions postmortem;
+      postmortem.dir = postmortem_dir;
+      BOLTON_RETURN_IF_ERROR(obs::InstallCrashHandler(postmortem));
     }
     // Benches always run with the counter pillar on: rows in --json-out
     // carry per-row counter deltas (an explicit {"available":false,...}

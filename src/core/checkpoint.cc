@@ -558,6 +558,9 @@ Result<SolverOutput> RunSolverWithCheckpoints(
   }
 
   if (resuming) {
+    BOLTON_LOG(kInfo) << "resuming from checkpoint " << manager.path()
+                      << " at pass " << loaded.state.completed_passes << "/"
+                      << spec.passes;
     obs::PrivacyLedger& ledger = obs::PrivacyLedger::Default();
     if (ledger.enabled()) {
       ledger.Restore(loaded.ledger);
@@ -609,7 +612,13 @@ Result<SolverOutput> RunSolverWithCheckpoints(
       ledger.Record(std::move(event));
       out.ledger = ledger.Snapshot();
     }
-    return manager.Save(out);
+    Status saved = manager.Save(out);
+    if (saved.ok()) {
+      BOLTON_LOG(kInfo) << "checkpoint saved at pass "
+                        << state.completed_passes << " ("
+                        << manager.path() << ")";
+    }
+    return saved;
   };
 
   PsgdCheckpointPlan plan;

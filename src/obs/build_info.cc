@@ -1,0 +1,96 @@
+#include "obs/build_info.h"
+
+#include "obs/perf_counters.h"
+#include "util/strings.h"
+
+// The build system stamps these onto this one translation unit (see
+// src/obs/CMakeLists.txt); the fallbacks keep non-CMake builds compiling.
+#ifndef BOLTON_GIT_SHA
+#define BOLTON_GIT_SHA "unknown"
+#endif
+#ifndef BOLTON_BUILD_TYPE
+#define BOLTON_BUILD_TYPE "unknown"
+#endif
+#ifndef BOLTON_VERSION
+#define BOLTON_VERSION "0.0.0"
+#endif
+
+namespace bolton {
+namespace obs {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return StrFormat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string SimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return "avx512f";
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  if (__builtin_cpu_supports("avx")) return "avx";
+  if (__builtin_cpu_supports("sse4.2")) return "sse4.2";
+  return "baseline";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "baseline";
+#endif
+}
+
+const char* PerfTierName(PerfTier tier) {
+  switch (tier) {
+    case PerfTier::kHardwareGroup:
+      return "hardware-group";
+    case PerfTier::kTaskClockOnly:
+      return "task-clock";
+    case PerfTier::kClockFallback:
+      return "clock-fallback";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo();
+    b->version = BOLTON_VERSION;
+    b->git_sha = BOLTON_GIT_SHA;
+    b->build_type = BOLTON_BUILD_TYPE;
+    b->compiler = CompilerString();
+    b->simd = SimdLevel();
+    b->perf_tier = PerfTierName(PerfCaps().tier);
+    return b;
+  }();
+  return *info;
+}
+
+std::string RenderBuildInfoJson() {
+  const BuildInfo& b = GetBuildInfo();
+  return StrFormat(
+      "{\"version\":\"%s\",\"git_sha\":\"%s\",\"build_type\":\"%s\","
+      "\"compiler\":\"%s\",\"simd\":\"%s\",\"perf_tier\":\"%s\"}",
+      JsonEscape(b.version).c_str(), JsonEscape(b.git_sha).c_str(),
+      JsonEscape(b.build_type).c_str(), JsonEscape(b.compiler).c_str(),
+      JsonEscape(b.simd).c_str(), JsonEscape(b.perf_tier).c_str());
+}
+
+std::string BuildInfoSummaryLine() {
+  const BuildInfo& b = GetBuildInfo();
+  return StrFormat("boltondp %s (%s, %s, %s, %s, perf:%s)",
+                   b.version.c_str(), b.git_sha.c_str(),
+                   b.build_type.c_str(), b.compiler.c_str(), b.simd.c_str(),
+                   b.perf_tier.c_str());
+}
+
+}  // namespace obs
+}  // namespace bolton

@@ -297,6 +297,92 @@ std::string RenderSpanJson(const SpanRecord& s) {
   return out;
 }
 
+std::string RenderRecordedLogJson(const RecordedLogEvent& e) {
+  const std::string thread =
+      !e.thread_name.empty()
+          ? e.thread_name
+          : StrFormat("t%llu", static_cast<unsigned long long>(e.thread_id));
+  return StrFormat(
+      "{\"mono_ns\":%llu,\"level\":\"%s\",\"tid\":%llu,\"thread\":\"%s\","
+      "\"file\":\"%s\",\"line\":%d,\"span\":%llu,\"msg\":\"%s\"}",
+      static_cast<unsigned long long>(e.mono_ns), LogLevelTag(e.level),
+      static_cast<unsigned long long>(e.thread_id),
+      JsonEscape(thread).c_str(), JsonEscape(e.file).c_str(), e.line,
+      static_cast<unsigned long long>(e.span_id),
+      JsonEscape(e.message).c_str());
+}
+
+std::string RenderRecordedLogsJsonl(
+    const std::vector<RecordedLogEvent>& events) {
+  std::string out;
+  for (const RecordedLogEvent& e : events) {
+    out += RenderRecordedLogJson(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderRecordedSpanJson(const RecordedSpan& s) {
+  return StrFormat(
+      "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"start_ns\":%llu,"
+      "\"dur_ns\":%llu,\"count\":%llu,\"thread\":%llu,"
+      "\"thread_name\":\"%s\"}",
+      JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.id),
+      static_cast<unsigned long long>(s.parent_id),
+      static_cast<unsigned long long>(s.start_ns),
+      static_cast<unsigned long long>(s.duration_ns),
+      static_cast<unsigned long long>(s.count),
+      static_cast<unsigned long long>(s.thread_id),
+      JsonEscape(s.thread_name).c_str());
+}
+
+std::string RenderRecordedMetricJson(const RecordedMetric& m) {
+  return StrFormat("{\"name\":\"%s\",\"kind\":\"%c\",\"value\":%.17g}",
+                   JsonEscape(m.name).c_str(), m.kind, m.value);
+}
+
+std::string RenderFlightRecorderJson(const FlightRecorder& recorder) {
+  const RingStats logs = recorder.LogRingStats();
+  const RingStats spans = recorder.SpanRingStats();
+  std::string out = StrFormat(
+      "{\"schema\":\"bolton-flightrecorder-v1\","
+      "\"log_ring\":{\"capacity\":%llu,\"appended\":%llu,\"dropped\":%llu},"
+      "\"span_ring\":{\"capacity\":%llu,\"appended\":%llu,\"dropped\":%llu},"
+      "\"metrics_mono_ns\":%llu",
+      static_cast<unsigned long long>(logs.capacity),
+      static_cast<unsigned long long>(logs.appended),
+      static_cast<unsigned long long>(logs.dropped),
+      static_cast<unsigned long long>(spans.capacity),
+      static_cast<unsigned long long>(spans.appended),
+      static_cast<unsigned long long>(spans.dropped),
+      static_cast<unsigned long long>(recorder.LatestMetricsTimestampNs()));
+  out += ",\"recent_logs\":[";
+  bool first = true;
+  for (const RecordedLogEvent& e :
+       recorder.RecentLogs(FlightRecorder::kLogSlots, LogLevel::kDebug)) {
+    if (!first) out += ',';
+    first = false;
+    out += RenderRecordedLogJson(e);
+  }
+  out += "],\"recent_spans\":[";
+  first = true;
+  for (const RecordedSpan& s :
+       recorder.RecentSpans(FlightRecorder::kSpanSlots)) {
+    if (!first) out += ',';
+    first = false;
+    out += RenderRecordedSpanJson(s);
+  }
+  out += "],\"metrics\":[";
+  first = true;
+  for (const RecordedMetric& m : recorder.LatestMetrics()) {
+    if (!first) out += ',';
+    first = false;
+    out += RenderRecordedMetricJson(m);
+  }
+  out += "]}";
+  return out;
+}
+
 std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans) {
   std::string out;
   for (const SpanRecord& s : spans) {

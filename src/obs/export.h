@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
@@ -98,6 +99,29 @@ std::string RenderSpanJson(const SpanRecord& span);
 
 /// One JSON object per line, in completion order.
 std::string RenderSpansJsonl(const std::vector<SpanRecord>& spans);
+
+/// -------- Flight recorder --------
+
+/// One retained log event as a single-line JSON object with the exact
+/// schema of the --log-jsonl file sink (util/logging.h), so /logz output
+/// and the JSONL file are interchangeable:
+///   {"mono_ns":N,"level":"I","tid":1,"thread":"main","file":"x.cc",
+///    "line":7,"span":0,"msg":"..."}
+std::string RenderRecordedLogJson(const RecordedLogEvent& event);
+
+/// One JSON object per line, oldest first (the /logz payload).
+std::string RenderRecordedLogsJsonl(const std::vector<RecordedLogEvent>& events);
+
+/// One retained span as a single-line JSON object (no trailing newline).
+std::string RenderRecordedSpanJson(const RecordedSpan& span);
+
+/// One snapshot metric as a single-line JSON object (no trailing newline).
+std::string RenderRecordedMetricJson(const RecordedMetric& metric);
+
+/// The whole flight recorder as one "bolton-flightrecorder-v1" JSON
+/// document: ring stats, recent logs and spans, and the latest metrics
+/// snapshot. The /flightrecorder endpoint serves exactly this.
+std::string RenderFlightRecorderJson(const FlightRecorder& recorder);
 
 /// Chrome trace-event JSON (the array form): "M" metadata events naming
 /// the process and each thread track, then one "X" complete event per

@@ -10,12 +10,15 @@
 #include <thread>
 #include <utility>
 
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/net.h"
 #include "util/strings.h"
 
@@ -289,6 +292,12 @@ std::string ObsServer::HandleRequest(const std::string& method,
   }
   std::string path, query;
   SplitTarget(target, &path, &query);
+  // A scrape loop hitting every endpoint once a second would otherwise
+  // bury the training output.
+  const uint64_t request_number =
+      request_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  BOLTON_LOG_EVERY_N(kInfo, 100)
+      << "obs server request #" << request_number << ": " << path;
 
   if (path == "/metrics") {
     // Prometheus scrapers key on this exact version tag. Memory and perf
@@ -349,6 +358,36 @@ std::string ObsServer::HandleRequest(const std::string& method,
     *content_type = "application/jsonl";
     return RenderSpansJsonl(TraceRecorder::Default().Snapshot());
   }
+  if (path == "/logz") {
+    auto tail_param = QueryIntParam(query, "tail", 100);
+    if (!tail_param.ok() || tail_param.value() < 0) {
+      *http_status = 400;
+      return "tail must be a non-negative integer\n";
+    }
+    LogLevel min_level = LogLevel::kDebug;
+    const std::string level_text = QueryStringParam(query, "level", "");
+    if (!level_text.empty() && !ParseLogLevel(level_text, &min_level)) {
+      *http_status = 400;
+      return "level must be one of D/I/W/E (or debug/info/warning/error)\n";
+    }
+    const size_t tail = tail_param.value() == 0
+                            ? FlightRecorder::kLogSlots
+                            : static_cast<size_t>(tail_param.value());
+    *content_type = "application/jsonl";
+    return RenderRecordedLogsJsonl(
+        FlightRecorder::Default().RecentLogs(tail, min_level));
+  }
+  if (path == "/flightrecorder") {
+    // Refresh the snapshot so the payload's metrics are current, not up
+    // to a second stale.
+    FlightRecorder::Default().SnapshotMetricsNow();
+    *content_type = "application/json";
+    return RenderFlightRecorderJson(FlightRecorder::Default());
+  }
+  if (path == "/buildz") {
+    *content_type = "application/json";
+    return RenderBuildInfoJson() + "\n";
+  }
   if (path == "/profile") {
     return HandleProfile(query, stop_, http_status, content_type);
   }
@@ -362,7 +401,8 @@ std::string ObsServer::HandleRequest(const std::string& method,
   }
   *http_status = 404;
   return StrFormat(
-      "no handler for '%s'; try /metrics /healthz /ledger /spans /profile\n",
+      "no handler for '%s'; try /metrics /healthz /ledger /spans /logz "
+      "/flightrecorder /buildz /profile\n",
       path.c_str());
 }
 

@@ -27,6 +27,14 @@ namespace obs {
 ///   /ledger?tail=N  Last N privacy-ledger events as JSONL (default 100,
 ///                   tail=0 for everything).
 ///   /spans          The completed-span buffer as JSONL.
+///   /logz?tail=N&level=L
+///                   Last N retained log events from the flight recorder
+///                   as JSONL (default 100), at or above level L
+///                   ("D"/"I"/"W"/"E" or the long names; default all).
+///   /flightrecorder One JSON document: ring statistics, recent logs and
+///                   spans, and the latest metrics snapshot.
+///   /buildz         Build/runtime identity JSON (git sha, compiler,
+///                   build type, SIMD level, perf-counter tier).
 ///   /quitquitquit   Asks the owner to stop lingering (see WaitForQuit);
 ///                   lets tests and operators end a --serve-obs run cleanly.
 ///
@@ -84,6 +92,7 @@ class ObsServer {
   int io_timeout_ms_ = 5000;
   uint64_t start_ns_ = 0;
   std::thread thread_;
+  std::atomic<uint64_t> request_count_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> quit_{false};
   std::mutex quit_mu_;

@@ -1,13 +1,10 @@
 #include "obs/telemetry.h"
 
-#include <pthread.h>
 #include <sys/resource.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 
 #include "obs/ledger.h"
 #include "obs/metrics.h"
@@ -15,6 +12,7 @@
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
+#include "util/thread_name.h"
 
 namespace bolton {
 namespace obs {
@@ -28,68 +26,16 @@ uint64_t MonotonicNanos() {
           .count());
 }
 
-uint64_t CurrentThreadId() {
-  static std::atomic<uint64_t> next{1};
-  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
-namespace {
-std::string& ThreadNameSlot() {
-  thread_local std::string name;
-  return name;
-}
-}  // namespace
+uint64_t CurrentThreadId() { return ::bolton::CurrentThreadSmallId(); }
 
 void SetCurrentThreadName(const std::string& name) {
-  ThreadNameSlot() = name;
-  // The kernel limit is 16 bytes including the terminator.
-  char truncated[16];
-  std::snprintf(truncated, sizeof(truncated), "%s", name.c_str());
-  ::pthread_setname_np(::pthread_self(), truncated);
+  ::bolton::SetCurrentThreadName(name);
 }
 
-std::string CurrentThreadName() {
-  std::string& slot = ThreadNameSlot();
-  if (!slot.empty()) return slot;
-  char kernel_name[16] = {0};
-  if (::pthread_getname_np(::pthread_self(), kernel_name,
-                           sizeof(kernel_name)) == 0 &&
-      kernel_name[0] != '\0') {
-    return kernel_name;
-  }
-  return "thread";
-}
+std::string CurrentThreadName() { return ::bolton::CurrentThreadName(); }
 
 std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return ::bolton::JsonEscape(s);
 }
 
 void SetAllEnabled(bool enabled) {

@@ -22,11 +22,16 @@ namespace obs {
 uint64_t MonotonicNanos();
 
 /// A stable small integer for the calling thread, used to label spans.
+/// Thin wrapper over util/thread_name.h (kept for source compatibility):
+/// the logger, the trace layer, and the crash postmortem all share the one
+/// id counter and name slot there, so "t4" means the same thread
+/// everywhere.
 uint64_t CurrentThreadId();
 
 /// Names the calling thread for telemetry output ("main", "psgd-shard-3").
-/// Also forwards to pthread_setname_np (truncated to the kernel's 15-char
-/// limit) so the name shows up in /proc and debuggers.
+/// Forwards to bolton::SetCurrentThreadName (util/thread_name.h), which
+/// also pushes the name into pthread_setname_np so it shows up in /proc
+/// and debuggers.
 void SetCurrentThreadName(const std::string& name);
 
 /// The name set via SetCurrentThreadName, else the kernel name from
@@ -34,6 +39,7 @@ void SetCurrentThreadName(const std::string& name);
 std::string CurrentThreadName();
 
 /// Escapes `s` for embedding inside a double-quoted JSON string.
+/// Forwards to bolton::JsonEscape (util/strings.h).
 std::string JsonEscape(const std::string& s);
 
 /// Master switch: flips metrics, trace, ledger, and perf-counter

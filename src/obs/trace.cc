@@ -1,16 +1,26 @@
 #include "obs/trace.h"
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "util/logging.h"
 
 namespace bolton {
 namespace obs {
 
 TraceRecorder& TraceRecorder::Default() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder = [] {
+    // Give the logger its span-id provider here so any process that traces
+    // also correlates log lines to spans, without util/ knowing about obs/.
+    bolton::internal::SetLogSpanIdProvider(&internal::CurrentSpanIdForLog);
+    return new TraceRecorder();
+  }();
   return *recorder;
 }
 
 void TraceRecorder::Record(SpanRecord record) {
+  // Completed spans also land in the flight recorder's recent-span ring so
+  // a crash report can show what the process was doing just before dying.
+  FlightRecorder::Default().RecordSpan(record);
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(record));
 }
@@ -43,6 +53,8 @@ ThreadSpanState& ThreadState() {
   thread_local ThreadSpanState state;
   return state;
 }
+
+uint64_t CurrentSpanIdForLog() { return ThreadState().current_id; }
 }  // namespace internal
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
@@ -54,6 +66,10 @@ ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   id_ = recorder.NextSpanId();
   tls.current_id = id_;
   tls.depth = depth_ + 1;
+  if (depth_ < internal::ThreadSpanState::kMaxStack) {
+    tls.stack_ids[depth_] = id_;
+    tls.stack_names[depth_] = name_;
+  }
   active_ = true;
   start_ = MonotonicNanos();
 }
@@ -64,6 +80,10 @@ ScopedSpan::~ScopedSpan() {
   internal::ThreadSpanState& tls = internal::ThreadState();
   tls.current_id = parent_;
   tls.depth = depth_;
+  if (depth_ < internal::ThreadSpanState::kMaxStack) {
+    tls.stack_ids[depth_] = 0;
+    tls.stack_names[depth_] = nullptr;
+  }
   SpanRecord record;
   record.name = name_;
   record.id = id_;

@@ -80,12 +80,24 @@ class TraceRecorder {
 };
 
 namespace internal {
-/// Per-thread innermost-open-span bookkeeping for parent/child linking.
+/// Per-thread innermost-open-span bookkeeping for parent/child linking,
+/// plus a fixed-capacity mirror of the open-span stack for the crash
+/// handler: the names are string literals and the arrays are plain
+/// thread-local storage, so the handler can walk its own thread's stack
+/// with async-signal-safe loads (spans nested deeper than kMaxStack are
+/// timed normally but omitted from the mirror).
 struct ThreadSpanState {
+  static constexpr int kMaxStack = 16;
   uint64_t current_id = 0;
   int depth = 0;
+  uint64_t stack_ids[kMaxStack] = {0};
+  const char* stack_names[kMaxStack] = {nullptr};
 };
 ThreadSpanState& ThreadState();
+
+/// The calling thread's innermost open span id (0 when none); installed
+/// into the logger as its span-id provider so every LogEvent carries it.
+uint64_t CurrentSpanIdForLog();
 }  // namespace internal
 
 /// Times the enclosing scope. `name` must outlive the span (string

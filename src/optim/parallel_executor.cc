@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace bolton {
@@ -208,6 +209,12 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
       SleepBeforeRetry(retry, attempt - 1, &jitter_rng);
       shard_retries->Increment();
       RecordRetryEvent("psgd.shard_retry", j, attempt, s);
+      // Rate-limited: a flapping shard under an aggressive retry budget
+      // must not flood stderr with one line per attempt.
+      BOLTON_LOG_EVERY_N(kWarning, 10)
+          << "shard " << j << " failed (" << result.status().ToString()
+          << "); retrying, attempt " << attempt << "/"
+          << retry.max_attempts;
       result = attempt_shard(j);
     }
     results[j] = std::move(result);

@@ -13,6 +13,22 @@ namespace bolton {
 
 namespace {
 
+/// The raw spec of the currently armed site set, mirrored into a fixed
+/// buffer so the crash handler (obs/postmortem.cc) can embed it in a
+/// postmortem with plain async-signal-safe loads — the registry's map and
+/// mutex are off-limits in signal context. Written under the registry
+/// lock; a torn read during a concurrent Configure garbles at worst the
+/// text, never memory safety.
+char g_armed_spec[256] = {0};
+
+void StashArmedSpec(const std::string& spec) {
+  const size_t n = spec.size() < sizeof(g_armed_spec) - 1
+                       ? spec.size()
+                       : sizeof(g_armed_spec) - 1;
+  for (size_t i = 0; i < n; ++i) g_armed_spec[i] = spec[i];
+  g_armed_spec[n] = '\0';
+}
+
 /// Parses the numeric operand after a fixed prefix ("error@", "1in", ...).
 Result<uint64_t> ParseOperand(const std::string& action,
                               const std::string& text) {
@@ -103,6 +119,7 @@ Status FailpointRegistry::Configure(const std::string& spec) {
   std::lock_guard<std::mutex> lock(mu_);
   sites_ = std::move(parsed);
   armed_.store(!sites_.empty(), std::memory_order_relaxed);
+  StashArmedSpec(spec);
   return Status::OK();
 }
 
@@ -115,7 +132,10 @@ void FailpointRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
   armed_.store(false, std::memory_order_relaxed);
+  StashArmedSpec("");
 }
+
+const char* ArmedFailpointSpecCStr() { return g_armed_spec; }
 
 Status FailpointRegistry::Evaluate(const char* site) {
   uint64_t hit = 0;

@@ -110,6 +110,13 @@ class FailpointRegistry {
   Observer observer_;
 };
 
+/// The raw spec currently armed ("" when none), as a NUL-terminated C
+/// string in fixed static storage — readable from a signal handler, which
+/// is why this exists: crash postmortems record which faults were armed
+/// when the process died. The pointer is always valid; the content is
+/// updated by Configure()/Clear().
+const char* ArmedFailpointSpecCStr();
+
 /// Evaluates the failpoint `site` (a string literal) and returns the
 /// injected error from the enclosing function when the site fires. Works in
 /// any function returning Status or Result<T>. Compiles to a relaxed load +

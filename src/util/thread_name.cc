@@ -1,0 +1,57 @@
+#include "util/thread_name.h"
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdio>
+
+namespace bolton {
+
+namespace {
+
+/// Fixed-size mirror of the thread's name: std::string storage would not be
+/// safely readable from a signal handler (heap pointers, SSO transitions),
+/// a flat char buffer is.
+constexpr size_t kNameBytes = 64;
+
+char* NameBuffer() {
+  thread_local char name[kNameBytes] = {0};
+  return name;
+}
+
+}  // namespace
+
+void SetCurrentThreadName(const std::string& name) {
+  std::snprintf(NameBuffer(), kNameBytes, "%s", name.c_str());
+  // The kernel limit is 16 bytes including the terminator.
+  char truncated[16];
+  std::snprintf(truncated, sizeof(truncated), "%s", name.c_str());
+  ::pthread_setname_np(::pthread_self(), truncated);
+}
+
+std::string CurrentThreadName() {
+  const char* set = NameBuffer();
+  if (set[0] != '\0') return set;
+  char kernel_name[16] = {0};
+  if (::pthread_getname_np(::pthread_self(), kernel_name,
+                           sizeof(kernel_name)) == 0 &&
+      kernel_name[0] != '\0') {
+    return kernel_name;
+  }
+  return "thread";
+}
+
+uint64_t CurrentThreadSmallId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace internal {
+
+const char* CurrentThreadNameCStr() { return NameBuffer(); }
+
+}  // namespace internal
+
+}  // namespace bolton

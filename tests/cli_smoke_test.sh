@@ -177,6 +177,22 @@ if [ -f "$ckptdir/bolton.ckpt" ]; then
   exit 1
 fi
 
+# Version prints the stamped build identity on one line.
+"$CLI" version > "$WORKDIR/version.log"
+grep -q "^boltondp " "$WORKDIR/version.log"
+
+# A train with --log-jsonl mirrors log events as one-object-per-line JSON
+# (the checkpoint-save info logs guarantee at least one event).
+mkdir -p "$WORKDIR/jsonl_ckpt"
+"$CLI" train --data "$WORKDIR/train.libsvm" --algo noiseless \
+    --epsilon 4 --lambda 0.01 --passes 2 --batch 10 \
+    --model "$WORKDIR/jsonl.model" \
+    --checkpoint-dir "$WORKDIR/jsonl_ckpt" \
+    --log-jsonl "$WORKDIR/train.log.jsonl" > /dev/null
+test -s "$WORKDIR/train.log.jsonl"
+grep -q '"mono_ns":' "$WORKDIR/train.log.jsonl"
+grep -q '"msg":"' "$WORKDIR/train.log.jsonl"
+
 # Unknown subcommands and flags fail loudly.
 if "$CLI" frobnicate > /dev/null 2>&1; then
   echo "unknown subcommand should fail" >&2

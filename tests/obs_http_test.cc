@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/build_info.h"
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/net.h"
 #include "util/strings.h"
 
@@ -340,6 +343,79 @@ TEST_F(ObsHttpTest, SpansChromeFormatRendersTraceEventJson) {
 
   // Unknown formats are a client error, not silently the default.
   EXPECT_EQ(Get(server_->port(), "/spans?format=nope").status, 400);
+}
+
+TEST_F(ObsHttpTest, LogzServesRecentLogsAsJsonl) {
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "logz marker info";
+  BOLTON_LOG(kWarning) << "logz marker warning";
+  ::testing::internal::GetCapturedStderr();
+
+  HttpResponse response = Get(server_->port(), "/logz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/jsonl"), std::string::npos);
+  EXPECT_NE(response.body.find("logz marker info"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("logz marker warning"), std::string::npos);
+  EXPECT_NE(response.body.find("\"mono_ns\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"level\":\"W\""), std::string::npos);
+
+  // tail caps the event count; level filters below-threshold events out.
+  HttpResponse one = Get(server_->port(), "/logz?tail=1");
+  ASSERT_EQ(one.status, 200);
+  int lines = 0;
+  for (const std::string& line : StrSplit(one.body, '\n')) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 1);
+  HttpResponse warnings = Get(server_->port(), "/logz?level=W");
+  ASSERT_EQ(warnings.status, 200);
+  EXPECT_EQ(warnings.body.find("\"level\":\"I\""), std::string::npos)
+      << warnings.body;
+  EXPECT_NE(warnings.body.find("logz marker warning"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, LogzRejectsMalformedParams) {
+  EXPECT_EQ(Get(server_->port(), "/logz?tail=abc").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/logz?tail=-1").status, 400);
+  EXPECT_EQ(Get(server_->port(), "/logz?level=verbose").status, 400);
+  // A well-formed request still works afterwards.
+  EXPECT_EQ(Get(server_->port(), "/logz?tail=5&level=D").status, 200);
+}
+
+TEST_F(ObsHttpTest, FlightRecorderEndpointDumpsRingsAndMetrics) {
+  MetricsRegistry::Default().GetCounter("flightrec.test_counter")
+      ->Increment(3);
+  ::testing::internal::CaptureStderr();
+  BOLTON_LOG(kInfo) << "flightrecorder marker";
+  ::testing::internal::GetCapturedStderr();
+  { ScopedSpan span("flightrec.span"); }
+
+  HttpResponse response = Get(server_->port(), "/flightrecorder");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"schema\":\"bolton-flightrecorder-v1\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"log_ring\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("\"span_ring\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("flightrecorder marker"), std::string::npos);
+  EXPECT_NE(response.body.find("flightrec.span"), std::string::npos);
+  // The endpoint refreshes the metrics snapshot before rendering.
+  EXPECT_NE(response.body.find("flightrec.test_counter"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, BuildzReportsBuildIdentity) {
+  HttpResponse response = Get(server_->port(), "/buildz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"git_sha\":\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"simd\":\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"perf_tier\":\""), std::string::npos);
+  // The body matches the library's own rendering (one rendering path).
+  EXPECT_EQ(response.body, RenderBuildInfoJson() + "\n");
 }
 
 TEST_F(ObsHttpTest, UnknownPathIs404AndPostIs405) {

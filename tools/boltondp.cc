@@ -6,6 +6,8 @@
 //   boltondp datagen  --dataset protein --scale 0.1 --out train.libsvm
 //   boltondp scrape   --port 9464 [--endpoint /metrics]
 //   boltondp profile  --port 9464 --seconds 2 [--format collapsed|json]
+//   boltondp version
+//   boltondp postmortem finalize --dir crashdir
 //
 // `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
 // generates one of the built-in synthetic stand-ins instead. Multiclass
@@ -25,14 +27,18 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/trainer.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_server.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/net.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -111,6 +117,7 @@ int Train(int argc, char** argv) {
   bool resume = false;
   std::string profile_out;
   int64_t profile_hz = 97;
+  std::string log_jsonl, postmortem_dir;
 
   FlagParser parser;
   AddDataFlags(&parser, &data_flags);
@@ -153,6 +160,14 @@ int Train(int argc, char** argv) {
                    "stack profile (flamegraph.pl input) to this file");
   parser.AddInt("profile-hz", &profile_hz,
                 "per-thread sampling frequency for --profile-out");
+  parser.AddString("log-jsonl", &log_jsonl,
+                   "also write every log event as structured JSONL to this "
+                   "file");
+  parser.AddString("postmortem-dir", &postmortem_dir,
+                   "arm the crash handler: on a fatal signal or failed "
+                   "check, write a bolton-postmortem-v1 report into this "
+                   "directory (finish a signal crash with `boltondp "
+                   "postmortem finalize --dir DIR`)");
   parser.Parse(argc, argv).CheckOK();
   if (parser.help_requested()) {
     parser.PrintHelp("boltondp train");
@@ -160,6 +175,12 @@ int Train(int argc, char** argv) {
   }
 
   obs::SetCurrentThreadName("main");
+  if (!log_jsonl.empty()) OpenLogJsonlFile(log_jsonl).CheckOK();
+  if (!postmortem_dir.empty()) {
+    obs::PostmortemOptions postmortem;
+    postmortem.dir = postmortem_dir;
+    obs::InstallCrashHandler(postmortem).CheckOK();
+  }
   if (metrics) obs::SetMetricsEnabled(true);
   if (!trace_out.empty() || !trace_chrome_out.empty()) {
     obs::TraceRecorder::Default().SetEnabled(true);
@@ -530,15 +551,51 @@ int DataGen(int argc, char** argv) {
   return 0;
 }
 
+int Version() {
+  std::printf("%s\n", obs::BuildInfoSummaryLine().c_str());
+  return 0;
+}
+
+int Postmortem(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) != "finalize") {
+    std::printf("usage: boltondp postmortem finalize --dir DIR\n");
+    return 1;
+  }
+  std::string dir;
+  FlagParser parser;
+  parser.AddString("dir", &dir,
+                   "directory holding postmortem.raw from a crashed run");
+  parser.Parse(argc - 1, argv + 1).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp postmortem finalize");
+    return 0;
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    return 1;
+  }
+  const Status status = obs::FinalizePostmortem(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s/postmortem.json\n", dir.c_str());
+  return 0;
+}
+
 int Usage() {
   std::printf(
       "boltondp — bolt-on differentially private SGD analytics\n"
-      "usage: boltondp <train|evaluate|datagen|scrape|profile> [flags]\n"
+      "usage: boltondp <train|evaluate|datagen|scrape|profile|version|"
+      "postmortem> [flags]\n"
       "       boltondp <command> --help for per-command flags\n");
   return 1;
 }
 
 int Main(int argc, char** argv) {
+  // Arm the flight recorder for every command: if anything crashes, the
+  // recent-log ring must already be collecting.
+  obs::FlightRecorder::Default();
   if (argc < 2) return Usage();
   std::string command = argv[1];
   // Shift argv so per-command parsers see only their flags.
@@ -549,6 +606,8 @@ int Main(int argc, char** argv) {
   if (command == "datagen") return DataGen(sub_argc, sub_argv);
   if (command == "scrape") return Scrape(sub_argc, sub_argv);
   if (command == "profile") return Profile(sub_argc, sub_argv);
+  if (command == "version") return Version();
+  if (command == "postmortem") return Postmortem(sub_argc, sub_argv);
   return Usage();
 }
 

@@ -81,6 +81,13 @@ port=$(sed -n 's/^obs server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
     "$WORKDIR/obs.log" | head -1)
 "$CLI" scrape --port "$port" --path /metrics \
     | grep -q 'psgd_pass_seconds_bucket{le="+Inf"}'
+# The flight-recorder surfaces must serve during the same linger: /logz
+# replays the recent-log ring as JSONL (the request-path rate-limited log
+# guarantees at least one event by now), /buildz identifies the binary.
+"$CLI" scrape --port "$port" --path "/logz?tail=50" | grep -q '"msg":'
+"$CLI" scrape --port "$port" --path /flightrecorder \
+    | grep -q '"schema":"bolton-flightrecorder-v1"'
+"$CLI" scrape --port "$port" --path /buildz | grep -q '"git_sha":'
 # The /profile endpoint must serve a valid timed profile of the live
 # process (the lingering server thread is what gets sampled here; the
 # point is the end-to-end path and the JSON schema, not hot frames).
@@ -176,6 +183,39 @@ grep -q '"kind":"checkpoint"' "$WORKDIR/fault_ledger.jsonl"
 [ "$(grep -c '"kind":"noise_draw"' "$WORKDIR/fault_ledger.jsonl")" -eq 1 ]
 [ ! -f "$CKPT/bolton.ckpt" ] || { echo "checkpoint not cleaned up"; exit 1; }
 
+echo "== postmortem pass (failpoint-panic'd train leaves a crash report) =="
+# A train killed mid-run by an armed panic failpoint must leave a raw crash
+# dump that `boltondp postmortem finalize` turns into a schema-valid
+# bolton-postmortem-v1 report: symbolized backtrace, a non-empty recent-log
+# ring, build identity, and the armed failpoint spec.
+PM="$WORKDIR/pm"
+PMCKPT="$WORKDIR/pm_ckpt"
+mkdir -p "$PMCKPT"
+if BOLTON_FAILPOINTS="psgd.pass:panic@2" "$CLI" train \
+    --data "$WORKDIR/train.libsvm" --algo ours \
+    --epsilon 2 --lambda 0.01 --passes 5 --batch 10 \
+    --model "$WORKDIR/pm_model.txt" \
+    --checkpoint-dir "$PMCKPT" --checkpoint-every 1 \
+    --postmortem-dir "$PM" \
+    > "$WORKDIR/pm.log" 2>&1; then
+  echo "train with armed panic failpoint unexpectedly survived"; exit 1
+fi
+"$CLI" postmortem finalize --dir "$PM" > /dev/null
+[ -f "$PM/postmortem.json" ] || { echo "no postmortem.json"; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$PM/postmortem.json" > /dev/null
+else
+  echo "note: python3 missing, skipping postmortem JSON validation"
+fi
+grep -q '"schema":"bolton-postmortem-v1"' "$PM/postmortem.json"
+grep -q '"backtrace":\[' "$PM/postmortem.json"
+grep -q '"resolved":true' "$PM/postmortem.json"
+grep -q '"recent_logs":\[{' "$PM/postmortem.json"
+grep -q '"git_sha":"' "$PM/postmortem.json"
+grep -q '"failpoints":"psgd.pass:panic@2"' "$PM/postmortem.json"
+# Finalizing twice is safe; a crash-free armed run leaves nothing behind.
+"$CLI" postmortem finalize --dir "$PM" > /dev/null
+
 echo "== ThreadSanitizer pass (obs server, registries, sharded executor) =="
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -185,9 +225,10 @@ cmake -S "$ROOT" -B "$TSAN_BUILD" \
 cmake --build "$TSAN_BUILD" -j \
   -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
   -t profiler_test -t perf_counters_test -t parallel_executor_test \
-  -t solver_test -t failpoint_test -t checkpoint_test
+  -t solver_test -t failpoint_test -t checkpoint_test \
+  -t logging_test -t postmortem_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|parallel_executor|solver|failpoint|checkpoint)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|parallel_executor|solver|failpoint|checkpoint|logging|postmortem)_test$'
 
 echo "== bench regression gate (parallel scaling vs BENCH_PR4.json) =="
 # Gate only when python3 and the baseline are available (the baseline rows
