@@ -1,25 +1,39 @@
 // Parallel scaling of the sharded PSGD executor (the Figure 2 workload
 // re-run across shard counts): total wall time for a full bolt-on private
-// training run at shards ∈ {1, 2, 4, 8}, same total m, one worker thread
-// per shard. b = 1, d = 50, λ = 1e-4, ε = 0.1, δ = 1/m², strongly convex —
-// the setting that maximizes per-update overhead, so the shard speedup is
-// visible rather than drowned in noise sampling.
+// training run at shards ∈ {1, 2, 4, 8}, same total m, shard slices
+// dispatched onto the persistent process pool. b = 1, d = 50, λ = 1e-4,
+// ε = 0.1, δ = 1/m², strongly convex — the setting that maximizes
+// per-update overhead, so the shard speedup is visible rather than drowned
+// in noise sampling.
+//
+// Every m gets an explicit serial baseline row ("serial/m=..."), measured
+// in THIS run, and every shard row's speedup is computed against it —
+// regression tooling and readers compare rows inside one JSON file instead
+// of eyeballing two. The shards=1 row is the executor's serial delegation
+// and should track the serial row to noise.
 //
 // Expected shape: each shard runs PSGD over m/s examples, so with ≥ s
 // hardware threads the wall time drops ~s× (minus partition/average
-// overhead); on a single-core machine the wall time is flat (the work is
-// the same, serialized) — the printed speedup column makes either case
-// visible. Accuracy is NOT compared here: sharding trades sensitivity
-// (noise grows with the per-shard bound) for wall time; that trade is
-// DESIGN.md §8's topic.
+// overhead); on a single-core machine the pool removes the old per-run
+// thread-spawn penalty, so shards ≥ 2 should at worst track serial (and can
+// beat it when a shard's working set drops into cache). Accuracy is NOT
+// compared here: sharding trades sensitivity (noise grows with the
+// per-shard bound) for wall time; that trade is DESIGN.md §8's topic.
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "core/private_sgd.h"
+#include "optim/thread_pool.h"
 
 namespace bolton {
 namespace bench {
 namespace {
+
+// Best of kReps timed runs (after the first, the pool is warm and the
+// partition path's pages are faulted in): single-shot numbers on a shared
+// machine mostly measure scheduler noise, and a regression gate built on
+// them flaps. Each rep re-seeds, so every rep does identical work.
+constexpr int kReps = 3;
 
 double RunSeconds(const Dataset& data, const LossFunction& loss,
                   size_t shards, uint64_t seed) {
@@ -28,10 +42,30 @@ double RunSeconds(const Dataset& data, const LossFunction& loss,
   options.batch_size = 1;
   options.shards = shards;
   options.privacy = PrivacyParams{0.1, DeltaFor(data.size())};
-  Rng rng(seed);
-  return TimedSeconds("bench.parallel_scaling", [&] {
-    PrivatePsgd(data, loss, options, &rng).status().CheckOK();
-  });
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng rng(seed);
+    const double seconds = TimedSeconds("bench.parallel_scaling", [&] {
+      PrivatePsgd(data, loss, options, &rng).status().CheckOK();
+    });
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+void AddRow(const char* name_fmt, size_t shards_or_zero, size_t m,
+            double seconds, double rows_per_sec) {
+  BenchResultRow row;
+  row.figure = "parallel_scaling";
+  row.name = shards_or_zero == 0
+                 ? StrFormat(name_fmt, m)
+                 : StrFormat(name_fmt, shards_or_zero, m);
+  row.dataset = "two_gaussians";
+  row.algo = "ours";
+  row.epsilon = 0.1;
+  row.wall_seconds = seconds;
+  row.rows_per_sec = rows_per_sec;
+  AddBenchResult(std::move(row));
 }
 
 int Run(int argc, char** argv) {
@@ -44,6 +78,12 @@ int Run(int argc, char** argv) {
   std::printf("  %-10s %-8s %-12s %-10s %-12s %-8s %-10s\n", "m", "shards",
               "seconds", "speedup", "rows/sec", "ipc", "cache-miss");
 
+  // Warm the persistent pool once so the first shard row measures steady
+  // state (pool dispatch), not one-time worker spawn — the process-lifetime
+  // cost the pool design amortizes away by construction.
+  GlobalThreadPool().ParallelRun(GlobalThreadPool().max_threads(),
+                                 [](size_t) {});
+
   auto loss = MakeLogisticLoss(1e-4, 1e4).MoveValue();
   std::vector<size_t> sizes;
   for (size_t base : {50000, 100000}) {
@@ -52,12 +92,21 @@ int Run(int argc, char** argv) {
   for (size_t m : sizes) {
     Dataset data =
         GenerateTwoGaussians(m, 50, 1.5, flags.seed + m).MoveValue();
-    double serial_seconds = 0.0;
+
+    // The serial baseline row: shards = 1 IS the serial path (bit-identical
+    // delegation to RunPsgd), measured fresh here so every speedup below is
+    // an in-bench ratio.
+    const double serial_seconds = RunSeconds(data, *loss, 1, flags.seed);
+    const double serial_rows =
+        serial_seconds > 0 ? static_cast<double>(m) / serial_seconds : 0;
+    std::printf("  %-10zu %-8s %-12.4f %-10.2f %-12.0f %-8s %-10s\n", m,
+                "serial", serial_seconds, 1.0, serial_rows, "-", "-");
+    AddRow("serial/m=%zu", 0, m, serial_seconds, serial_rows);
+
     for (size_t shards : {1, 2, 4, 8}) {
       const obs::PerfCounterDelta before = obs::ProcessPerfTotals();
       const double seconds = RunSeconds(data, *loss, shards, flags.seed);
       const obs::PerfCounterDelta run = obs::ProcessPerfTotals() - before;
-      if (shards == 1) serial_seconds = seconds;
       const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
       const double rows_per_sec =
           seconds > 0 ? static_cast<double>(m) / seconds : 0;
@@ -69,20 +118,13 @@ int Run(int argc, char** argv) {
         std::printf("  %-10zu %-8zu %-12.4f %-10.2f %-12.0f %-8s %-10s\n", m,
                     shards, seconds, speedup, rows_per_sec, "-", "-");
       }
-      BenchResultRow row;
-      row.figure = "parallel_scaling";
-      row.name = StrFormat("shards=%zu/m=%zu", shards, m);
-      row.dataset = "two_gaussians";
-      row.algo = "ours";
-      row.epsilon = 0.1;
-      row.wall_seconds = seconds;
-      row.rows_per_sec = rows_per_sec;
-      AddBenchResult(std::move(row));
+      AddRow("shards=%zu/m=%zu", shards, m, seconds, rows_per_sec);
     }
   }
   std::printf("\nShape check: with >= s hardware threads the wall time "
-              "drops ~s x at s shards; on a single core it stays flat "
-              "(same arithmetic, serialized).\n");
+              "drops ~s x at s shards; on a single core the pool keeps "
+              "shard rows tracking the serial row (same arithmetic, "
+              "serialized, no per-run thread spawn).\n");
   return 0;
 }
 

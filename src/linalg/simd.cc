@@ -1,0 +1,667 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BOLTON_SIMD_X86 1
+#endif
+
+// This file is compiled with -ffp-contract=off (see src/linalg/CMakeLists):
+// the bit-identity contract requires every multiply and add to round
+// separately, and a compiler-introduced FMA would round once. The intrinsic
+// kernels likewise never use FMA instructions.
+
+namespace bolton {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These DEFINE the semantics every vector tier must
+// reproduce bit-for-bit: reductions use 8 virtual accumulator lanes over the
+// vectorizable prefix, the fixed combine tree (l0+l4 ... then pairwise), and
+// an index-order tail. See the contract comment in simd.h.
+// ---------------------------------------------------------------------------
+
+double DotScalar(const double* x, const double* y, size_t n) {
+  double l0 = 0, l1 = 0, l2 = 0, l3 = 0, l4 = 0, l5 = 0, l6 = 0, l7 = 0;
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    l0 += x[i + 0] * y[i + 0];
+    l1 += x[i + 1] * y[i + 1];
+    l2 += x[i + 2] * y[i + 2];
+    l3 += x[i + 3] * y[i + 3];
+    l4 += x[i + 4] * y[i + 4];
+    l5 += x[i + 5] * y[i + 5];
+    l6 += x[i + 6] * y[i + 6];
+    l7 += x[i + 7] * y[i + 7];
+  }
+  const double c0 = l0 + l4, c1 = l1 + l5, c2 = l2 + l6, c3 = l3 + l7;
+  double total = (c0 + c1) + (c2 + c3);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+double SquaredNormScalar(const double* x, size_t n) { return DotScalar(x, x, n); }
+
+double SquaredDistanceScalar(const double* x, const double* y, size_t n) {
+  double l0 = 0, l1 = 0, l2 = 0, l3 = 0, l4 = 0, l5 = 0, l6 = 0, l7 = 0;
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    const double d0 = x[i + 0] - y[i + 0];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    const double d4 = x[i + 4] - y[i + 4];
+    const double d5 = x[i + 5] - y[i + 5];
+    const double d6 = x[i + 6] - y[i + 6];
+    const double d7 = x[i + 7] - y[i + 7];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+    l4 += d4 * d4;
+    l5 += d5 * d5;
+    l6 += d6 * d6;
+    l7 += d7 * d7;
+  }
+  const double c0 = l0 + l4, c1 = l1 + l5, c2 = l2 + l6, c3 = l3 + l7;
+  double total = (c0 + c1) + (c2 + c3);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void AxpyScalar(double a, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleScalar(double* x, double a, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void AddScalar(double* y, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void SubScalar(double* y, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+#ifdef BOLTON_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2: the 8 virtual lanes live in 4 xmm registers — a01 = (l0,l1),
+// a23 = (l2,l3), a45 = (l4,l5), a67 = (l6,l7). a01+a45 yields (c0,c1) and
+// a23+a67 yields (c2,c3), matching the scalar combine tree exactly.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) double DotSse2(const double* x,
+                                               const double* y, size_t n) {
+  __m128d a01 = _mm_setzero_pd(), a23 = _mm_setzero_pd();
+  __m128d a45 = _mm_setzero_pd(), a67 = _mm_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    a01 = _mm_add_pd(a01, _mm_mul_pd(_mm_loadu_pd(x + i),
+                                     _mm_loadu_pd(y + i)));
+    a23 = _mm_add_pd(a23, _mm_mul_pd(_mm_loadu_pd(x + i + 2),
+                                     _mm_loadu_pd(y + i + 2)));
+    a45 = _mm_add_pd(a45, _mm_mul_pd(_mm_loadu_pd(x + i + 4),
+                                     _mm_loadu_pd(y + i + 4)));
+    a67 = _mm_add_pd(a67, _mm_mul_pd(_mm_loadu_pd(x + i + 6),
+                                     _mm_loadu_pd(y + i + 6)));
+  }
+  const __m128d c01 = _mm_add_pd(a01, a45);  // (c0, c1)
+  const __m128d c23 = _mm_add_pd(a23, a67);  // (c2, c3)
+  const double c0 = _mm_cvtsd_f64(c01);
+  const double c1 = _mm_cvtsd_f64(_mm_unpackhi_pd(c01, c01));
+  const double c2 = _mm_cvtsd_f64(c23);
+  const double c3 = _mm_cvtsd_f64(_mm_unpackhi_pd(c23, c23));
+  double total = (c0 + c1) + (c2 + c3);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+__attribute__((target("sse2"))) double SquaredNormSse2(const double* x,
+                                                       size_t n) {
+  return DotSse2(x, x, n);
+}
+
+__attribute__((target("sse2"))) double SquaredDistanceSse2(const double* x,
+                                                           const double* y,
+                                                           size_t n) {
+  __m128d a01 = _mm_setzero_pd(), a23 = _mm_setzero_pd();
+  __m128d a45 = _mm_setzero_pd(), a67 = _mm_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(y + i));
+    const __m128d d23 =
+        _mm_sub_pd(_mm_loadu_pd(x + i + 2), _mm_loadu_pd(y + i + 2));
+    const __m128d d45 =
+        _mm_sub_pd(_mm_loadu_pd(x + i + 4), _mm_loadu_pd(y + i + 4));
+    const __m128d d67 =
+        _mm_sub_pd(_mm_loadu_pd(x + i + 6), _mm_loadu_pd(y + i + 6));
+    a01 = _mm_add_pd(a01, _mm_mul_pd(d01, d01));
+    a23 = _mm_add_pd(a23, _mm_mul_pd(d23, d23));
+    a45 = _mm_add_pd(a45, _mm_mul_pd(d45, d45));
+    a67 = _mm_add_pd(a67, _mm_mul_pd(d67, d67));
+  }
+  const __m128d c01 = _mm_add_pd(a01, a45);
+  const __m128d c23 = _mm_add_pd(a23, a67);
+  const double c0 = _mm_cvtsd_f64(c01);
+  const double c1 = _mm_cvtsd_f64(_mm_unpackhi_pd(c01, c01));
+  const double c2 = _mm_cvtsd_f64(c23);
+  const double c3 = _mm_cvtsd_f64(_mm_unpackhi_pd(c23, c23));
+  double total = (c0 + c1) + (c2 + c3);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("sse2"))) void AxpySse2(double a, const double* x,
+                                              double* y, size_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  size_t i = 0;
+  const size_t n2 = n & ~static_cast<size_t>(1);
+  for (; i < n2; i += 2) {
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i),
+                                    _mm_mul_pd(av, _mm_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("sse2"))) void ScaleSse2(double* x, double a, size_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  size_t i = 0;
+  const size_t n2 = n & ~static_cast<size_t>(1);
+  for (; i < n2; i += 2) {
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+__attribute__((target("sse2"))) void AddSse2(double* y, const double* x,
+                                             size_t n) {
+  size_t i = 0;
+  const size_t n2 = n & ~static_cast<size_t>(1);
+  for (; i < n2; i += 2) {
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), _mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("sse2"))) void SubSse2(double* y, const double* x,
+                                             size_t n) {
+  size_t i = 0;
+  const size_t n2 = n & ~static_cast<size_t>(1);
+  for (; i < n2; i += 2) {
+    _mm_storeu_pd(y + i, _mm_sub_pd(_mm_loadu_pd(y + i), _mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: lanes in 2 ymm registers — a0123 = (l0..l3), a4567 = (l4..l7).
+// Their elementwise sum is (c0,c1,c2,c3); the 128-bit halves finish the tree.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) double ReduceC0123Avx2(__m256d c) {
+  const __m128d lo = _mm256_castpd256_pd128(c);      // (c0, c1)
+  const __m128d hi = _mm256_extractf128_pd(c, 1);    // (c2, c3)
+  const double c0 = _mm_cvtsd_f64(lo);
+  const double c1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  const double c2 = _mm_cvtsd_f64(hi);
+  const double c3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  return (c0 + c1) + (c2 + c3);
+}
+
+__attribute__((target("avx2"))) double DotAvx2(const double* x,
+                                               const double* y, size_t n) {
+  __m256d a0123 = _mm256_setzero_pd(), a4567 = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    a0123 = _mm256_add_pd(
+        a0123, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    a4567 = _mm256_add_pd(a4567, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                                               _mm256_loadu_pd(y + i + 4)));
+  }
+  double total = ReduceC0123Avx2(_mm256_add_pd(a0123, a4567));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+__attribute__((target("avx2"))) double SquaredNormAvx2(const double* x,
+                                                       size_t n) {
+  return DotAvx2(x, x, n);
+}
+
+__attribute__((target("avx2"))) double SquaredDistanceAvx2(const double* x,
+                                                           const double* y,
+                                                           size_t n) {
+  __m256d a0123 = _mm256_setzero_pd(), a4567 = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    const __m256d d0123 =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d d4567 =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4));
+    a0123 = _mm256_add_pd(a0123, _mm256_mul_pd(d0123, d0123));
+    a4567 = _mm256_add_pd(a4567, _mm256_mul_pd(d4567, d4567));
+  }
+  double total = ReduceC0123Avx2(_mm256_add_pd(a0123, a4567));
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double a, const double* x,
+                                              double* y, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) void ScaleAvx2(double* x, double a, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+__attribute__((target("avx2"))) void AddAvx2(double* y, const double* x,
+                                             size_t n) {
+  size_t i = 0;
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx2"))) void SubAvx2(double* y, const double* x,
+                                             size_t n) {
+  size_t i = 0;
+  const size_t n4 = n & ~static_cast<size_t>(3);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512: all 8 lanes in one zmm register. The 256-bit halves are (l0..l3)
+// and (l4..l7); adding them gives (c0..c3) and the AVX2 finisher applies.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx2"))) double DotAvx512(const double* x,
+                                                         const double* y,
+                                                         size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+  }
+  const __m256d lo = _mm512_castpd512_pd256(acc);       // (l0..l3)
+  const __m256d hi = _mm512_extractf64x4_pd(acc, 1);    // (l4..l7)
+  double total = ReduceC0123Avx2(_mm256_add_pd(lo, hi));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+__attribute__((target("avx512f,avx2"))) double SquaredNormAvx512(
+    const double* x, size_t n) {
+  return DotAvx512(x, x, n);
+}
+
+__attribute__((target("avx512f,avx2"))) double SquaredDistanceAvx512(
+    const double* x, const double* y, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  const __m256d lo = _mm512_castpd512_pd256(acc);
+  const __m256d hi = _mm512_extractf64x4_pd(acc, 1);
+  double total = ReduceC0123Avx2(_mm256_add_pd(lo, hi));
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("avx512f"))) void AxpyAvx512(double a, const double* x,
+                                                   double* y, size_t n) {
+  const __m512d av = _mm512_set1_pd(a);
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                             _mm512_mul_pd(av, _mm512_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx512f"))) void ScaleAvx512(double* x, double a,
+                                                    size_t n) {
+  const __m512d av = _mm512_set1_pd(a);
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    _mm512_storeu_pd(x + i, _mm512_mul_pd(_mm512_loadu_pd(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+__attribute__((target("avx512f"))) void AddAvx512(double* y, const double* x,
+                                                  size_t n) {
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx512f"))) void SubAvx512(double* y, const double* x,
+                                                  size_t n) {
+  size_t i = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (; i < n8; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_sub_pd(_mm512_loadu_pd(y + i), _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+#endif  // BOLTON_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: one table per tier, one atomic pointer to the active table.
+// ---------------------------------------------------------------------------
+
+struct KernelTable {
+  SimdTier tier;
+  double (*dot)(const double*, const double*, size_t);
+  double (*squared_norm)(const double*, size_t);
+  double (*squared_distance)(const double*, const double*, size_t);
+  void (*axpy)(double, const double*, double*, size_t);
+  void (*scale)(double*, double, size_t);
+  void (*add)(double*, const double*, size_t);
+  void (*sub)(double*, const double*, size_t);
+};
+
+const KernelTable kScalarTable = {SimdTier::kScalar,
+                                  DotScalar,
+                                  SquaredNormScalar,
+                                  SquaredDistanceScalar,
+                                  AxpyScalar,
+                                  ScaleScalar,
+                                  AddScalar,
+                                  SubScalar};
+
+#ifdef BOLTON_SIMD_X86
+const KernelTable kSse2Table = {SimdTier::kSse2,
+                                DotSse2,
+                                SquaredNormSse2,
+                                SquaredDistanceSse2,
+                                AxpySse2,
+                                ScaleSse2,
+                                AddSse2,
+                                SubSse2};
+
+const KernelTable kAvx2Table = {SimdTier::kAvx2,
+                                DotAvx2,
+                                SquaredNormAvx2,
+                                SquaredDistanceAvx2,
+                                AxpyAvx2,
+                                ScaleAvx2,
+                                AddAvx2,
+                                SubAvx2};
+
+const KernelTable kAvx512Table = {SimdTier::kAvx512,
+                                  DotAvx512,
+                                  SquaredNormAvx512,
+                                  SquaredDistanceAvx512,
+                                  AxpyAvx512,
+                                  ScaleAvx512,
+                                  AddAvx512,
+                                  SubAvx512};
+#endif
+
+const KernelTable* TableForTier(SimdTier tier) {
+  switch (tier) {
+#ifdef BOLTON_SIMD_X86
+    case SimdTier::kSse2:
+      return &kSse2Table;
+    case SimdTier::kAvx2:
+      return &kAvx2Table;
+    case SimdTier::kAvx512:
+      return &kAvx512Table;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+std::atomic<const KernelTable*> g_active_table{nullptr};
+
+SimdTier ResolveDefaultTier() {
+  const char* env = std::getenv("BOLTON_SIMD");
+  if (env == nullptr || env[0] == '\0') return DetectedSimdTier();
+  SimdTier requested;
+  if (!ParseSimdTier(env, &requested)) {
+    BOLTON_LOG(kWarning) << "BOLTON_SIMD=" << env
+                         << " is not a tier name; using "
+                         << SimdTierName(DetectedSimdTier());
+    return DetectedSimdTier();
+  }
+  if (requested == SimdTier::kAuto) return DetectedSimdTier();
+  if (!SimdTierSupported(requested)) {
+    // Clamp, don't fail: the same CI script must run on machines with and
+    // without wide vectors, and every tier is bit-identical anyway.
+    BOLTON_LOG(kWarning) << "BOLTON_SIMD=" << env
+                         << " is not supported on this CPU; clamping to "
+                         << SimdTierName(DetectedSimdTier());
+    return DetectedSimdTier();
+  }
+  return requested;
+}
+
+const KernelTable* ActiveTable() {
+  const KernelTable* table = g_active_table.load(std::memory_order_acquire);
+  if (table != nullptr) return table;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const KernelTable* resolved = TableForTier(DefaultSimdTier());
+    const KernelTable* expected = nullptr;
+    // A ForceSimdTier that raced ahead of the lazy init wins.
+    g_active_table.compare_exchange_strong(expected, resolved,
+                                           std::memory_order_acq_rel);
+  });
+  return g_active_table.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+SimdTier DetectedSimdTier() {
+#ifdef BOLTON_SIMD_X86
+  static const SimdTier tier = [] {
+    if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdTier::kSse2;
+    return SimdTier::kScalar;
+  }();
+  return tier;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+SimdTier DefaultSimdTier() {
+  static const SimdTier tier = ResolveDefaultTier();
+  return tier;
+}
+
+SimdTier ActiveSimdTier() { return ActiveTable()->tier; }
+
+bool SimdTierSupported(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAuto:
+      return false;
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse2:
+    case SimdTier::kAvx2:
+    case SimdTier::kAvx512:
+      return static_cast<int>(tier) <= static_cast<int>(DetectedSimdTier());
+  }
+  return false;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAuto:
+      return "auto";
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdTier(const std::string& name, SimdTier* out) {
+  if (name == "auto") {
+    *out = SimdTier::kAuto;
+    return true;
+  }
+  if (name == "scalar") {
+    *out = SimdTier::kScalar;
+    return true;
+  }
+  if (name == "sse2") {
+    *out = SimdTier::kSse2;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = SimdTier::kAvx2;
+    return true;
+  }
+  if (name == "avx512" || name == "avx512f") {
+    *out = SimdTier::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+bool ForceSimdTier(SimdTier tier) {
+  if (tier == SimdTier::kAuto) {
+    g_active_table.store(TableForTier(DefaultSimdTier()),
+                         std::memory_order_release);
+    return true;
+  }
+  if (!SimdTierSupported(tier)) {
+    BOLTON_LOG(kWarning) << "cannot force SIMD tier " << SimdTierName(tier)
+                         << ": unsupported on this CPU (detected "
+                         << SimdTierName(DetectedSimdTier()) << ")";
+    return false;
+  }
+  g_active_table.store(TableForTier(tier), std::memory_order_release);
+  return true;
+}
+
+ScopedSimdTier::ScopedSimdTier(SimdTier tier) : previous_(ActiveSimdTier()) {
+  BOLTON_CHECK(tier == SimdTier::kAuto || SimdTierSupported(tier));
+  ForceSimdTier(tier);
+}
+
+ScopedSimdTier::~ScopedSimdTier() { ForceSimdTier(previous_); }
+
+double SimdDot(const double* x, const double* y, size_t n) {
+  return ActiveTable()->dot(x, y, n);
+}
+
+double SimdSquaredNorm(const double* x, size_t n) {
+  return ActiveTable()->squared_norm(x, n);
+}
+
+double SimdSquaredDistance(const double* x, const double* y, size_t n) {
+  return ActiveTable()->squared_distance(x, y, n);
+}
+
+void SimdAxpy(double a, const double* x, double* y, size_t n) {
+  ActiveTable()->axpy(a, x, y, n);
+}
+
+void SimdScale(double* x, double a, size_t n) {
+  ActiveTable()->scale(x, a, n);
+}
+
+void SimdAdd(double* y, const double* x, size_t n) {
+  ActiveTable()->add(y, x, n);
+}
+
+void SimdSub(double* y, const double* x, size_t n) {
+  ActiveTable()->sub(y, x, n);
+}
+
+double SimdSparseDot(const std::pair<size_t, double>* entries, size_t nnz,
+                     const double* y, size_t n) {
+  // One implementation for every tier: the contract is the canonical lane
+  // ORDER, and a scalar gather realizes it exactly. Entries are sorted by
+  // index, so each lane's partial sum accumulates in ascending index order —
+  // the same order DotScalar visits them — and the coordinates missing here
+  // would only have added exact +0.0 to their lane.
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t k = 0;
+  for (; k < nnz && entries[k].first < n8; ++k) {
+    lanes[entries[k].first & 7] += entries[k].second * y[entries[k].first];
+  }
+  const double c0 = lanes[0] + lanes[4], c1 = lanes[1] + lanes[5],
+               c2 = lanes[2] + lanes[6], c3 = lanes[3] + lanes[7];
+  double total = (c0 + c1) + (c2 + c3);
+  for (; k < nnz; ++k) total += entries[k].second * y[entries[k].first];
+  return total;
+}
+
+}  // namespace bolton

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -63,11 +64,11 @@ void SparseVector::AxpyInto(double scale, Vector* dense) const {
 
 double Dot(const SparseVector& sparse, const Vector& dense) {
   BOLTON_CHECK(sparse.dim() == dense.dim());
-  double acc = 0.0;
-  for (const auto& [index, value] : sparse.entries()) {
-    acc += value * dense[index];
-  }
-  return acc;
+  // Canonical-order kernel, NOT a plain sequential sum: the sparse engine's
+  // bit-for-bit equivalence with the dense engine requires summing in the
+  // exact order the dense dot uses (see SimdSparseDot in linalg/simd.h).
+  return SimdSparseDot(sparse.entries().data(), sparse.entries().size(),
+                       dense.data(), dense.dim());
 }
 
 }  // namespace bolton

@@ -2,6 +2,13 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
+
+// The dense hot loops (dot, axpy, scale, add/sub, norms) dispatch to the
+// runtime-selected SIMD kernels in linalg/simd.h. Every tier is bit-identical
+// to the scalar reference (see the contract comment there), so routing
+// through the dispatcher changes speed, never results.
+
 namespace bolton {
 
 void Vector::SetZero() {
@@ -10,18 +17,18 @@ void Vector::SetZero() {
 
 Vector& Vector::operator+=(const Vector& other) {
   BOLTON_CHECK(dim() == other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  SimdAdd(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& other) {
   BOLTON_CHECK(dim() == other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  SimdSub(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Vector& Vector::operator*=(double scalar) {
-  for (double& x : data_) x *= scalar;
+  SimdScale(data_.data(), scalar, data_.size());
   return *this;
 }
 
@@ -32,15 +39,13 @@ Vector& Vector::operator/=(double scalar) {
 
 void Vector::Axpy(double scalar, const Vector& other) {
   BOLTON_CHECK(dim() == other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+  SimdAxpy(scalar, other.data_.data(), data_.data(), data_.size());
 }
 
 double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
 
 double Vector::SquaredNorm() const {
-  double acc = 0.0;
-  for (double x : data_) acc += x * x;
-  return acc;
+  return SimdSquaredNorm(data_.data(), data_.size());
 }
 
 Vector operator+(const Vector& a, const Vector& b) {
@@ -65,19 +70,12 @@ Vector operator*(const Vector& v, double scalar) { return scalar * v; }
 
 double Dot(const Vector& a, const Vector& b) {
   BOLTON_CHECK(a.dim() == b.dim());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) acc += a[i] * b[i];
-  return acc;
+  return SimdDot(a.data(), b.data(), a.dim());
 }
 
 double Distance(const Vector& a, const Vector& b) {
   BOLTON_CHECK(a.dim() == b.dim());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) {
-    double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(SimdSquaredDistance(a.data(), b.data(), a.dim()));
 }
 
 Vector Normalized(const Vector& v) {

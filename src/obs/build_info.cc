@@ -1,5 +1,6 @@
 #include "obs/build_info.h"
 
+#include "linalg/simd.h"
 #include "obs/perf_counters.h"
 #include "util/strings.h"
 
@@ -33,17 +34,11 @@ std::string CompilerString() {
 }
 
 std::string SimdLevel() {
-#if defined(__x86_64__) || defined(__i386__)
-  if (__builtin_cpu_supports("avx512f")) return "avx512f";
-  if (__builtin_cpu_supports("avx2")) return "avx2";
-  if (__builtin_cpu_supports("avx")) return "avx";
-  if (__builtin_cpu_supports("sse4.2")) return "sse4.2";
-  return "baseline";
-#elif defined(__aarch64__)
-  return "neon";
-#else
-  return "baseline";
-#endif
+  // The tier the gradient kernels actually dispatch to (linalg/simd.h):
+  // the BOLTON_SIMD override or the CPU probe — not merely what the CPU
+  // supports. Cached with the rest of the build info at first read; a
+  // later ScopedSimdTier test override is deliberately not reflected.
+  return SimdTierName(ActiveSimdTier());
 }
 
 const char* PerfTierName(PerfTier tier) {

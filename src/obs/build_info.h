@@ -15,9 +15,9 @@ struct BuildInfo {
   std::string git_sha;     // short commit sha + "-dirty", or "unknown"
   std::string build_type;  // CMAKE_BUILD_TYPE ("RelWithDebInfo", "Debug")
   std::string compiler;    // "gcc 13.2.0" / "clang 17.0.1"
-  /// Best instruction-set level the running CPU supports (runtime probe,
-  /// not compile flags): "avx512f", "avx2", "avx", "sse4.2", "neon", or
-  /// "baseline".
+  /// SIMD tier the gradient kernels dispatch to (linalg/simd.h: runtime
+  /// CPU probe, overridable via BOLTON_SIMD): "avx512", "avx2", "sse2",
+  /// or "scalar".
   std::string simd;
   /// Perf-counter capability tier of this host (obs/perf_counters.h):
   /// "hardware-group", "task-clock", or "clock-fallback".

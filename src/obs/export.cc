@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "obs/telemetry.h"
@@ -403,18 +404,21 @@ std::string RenderChromeTrace(const std::vector<SpanRecord>& spans) {
   append(
       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
       "\"args\":{\"name\":\"boltondp\"}}");
-  // One thread_name metadata event per distinct tid (first record wins —
-  // names are set before the thread records anything).
-  std::map<uint64_t, std::string> thread_names;
+  // One thread_name metadata event per distinct (tid, name) pair, in first-
+  // seen order: a pool worker legitimately carries several names over its
+  // lifetime (its own bolton-pool-N plus one psgd-shard-N per slice it ran),
+  // and every name must be discoverable in the trace. Viewers that keep one
+  // label per track use the last metadata event; the span data is keyed by
+  // tid either way.
+  std::set<std::pair<uint64_t, std::string>> seen_names;
   for (const SpanRecord& s : spans) {
-    thread_names.emplace(s.thread_id,
-                         s.thread_name.empty() ? "thread" : s.thread_name);
-  }
-  for (const auto& [tid, name] : thread_names) {
+    const std::string name = s.thread_name.empty() ? "thread" : s.thread_name;
+    if (!seen_names.insert({s.thread_id, name}).second) continue;
     append(StrFormat(
         "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":\"thread_name\","
         "\"args\":{\"name\":\"%s\"}}",
-        static_cast<unsigned long long>(tid), JsonEscape(name).c_str()));
+        static_cast<unsigned long long>(s.thread_id),
+        JsonEscape(name).c_str()));
   }
   for (const SpanRecord& s : spans) {
     std::string event = StrFormat(

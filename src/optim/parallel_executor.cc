@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "linalg/simd.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
-#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "optim/thread_pool.h"
 #include "random/permutation.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -84,12 +87,27 @@ uint64_t ShardSeed(uint64_t seed_base, size_t shard) {
 Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
                                          const LossFunction& loss,
                                          const StepSizeSchedule& schedule,
-                                         const PsgdOptions& options, Rng* rng,
-                                         size_t max_threads,
-                                         const ShardRetryPolicy& retry) {
+                                         const PsgdOptions& options, Rng* rng) {
   BOLTON_RETURN_IF_ERROR(ValidateShardedOptions(data, options));
+  const ExecutorConfig& executor = options.executor;
+  const ShardRetryPolicy& retry = executor.retry;
   if (retry.max_attempts < 1) {
-    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+    return Status::InvalidArgument("executor.retry.max_attempts must be >= 1");
+  }
+  // SIMD-tier override (test hook). Installed before the serial delegation
+  // so shards = 1 honors it too; restored on every return path. Safe even
+  // with concurrent runs: all tiers are bit-identical, so a race can only
+  // change speed.
+  std::optional<ScopedSimdTier> simd_scope;
+  if (executor.simd != SimdTier::kAuto) {
+    if (!SimdTierSupported(executor.simd)) {
+      return Status::InvalidArgument(
+          StrFormat("executor.simd tier %s is not supported on this CPU "
+                    "(detected %s)",
+                    SimdTierName(executor.simd),
+                    SimdTierName(DetectedSimdTier())));
+    }
+    simd_scope.emplace(executor.simd);
   }
 
   if (options.shards == 1) {
@@ -224,23 +242,35 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     if (!results[j].ok()) shard_failures->Increment();
   };
 
+  // The pool the slices will run on (injected or process-wide). Resolved
+  // before worker_count: the auto policy sizes slices to the workers that
+  // can actually run them — more slices than pool workers adds a dispatch
+  // wakeup per slice and zero parallelism (on a single-core host that
+  // overhead alone used to double the sharded wall time).
+  ThreadPool& pool =
+      executor.pool != nullptr ? *executor.pool : GlobalThreadPool();
   const size_t worker_count =
-      max_threads == 0 ? s : std::min(max_threads, s);
+      executor.max_threads == 0
+          ? std::min(pool.max_threads(), s)
+          : std::min(executor.max_threads, s);
   std::vector<WorkerStats> worker_stats(std::max<size_t>(worker_count, 1));
   const uint64_t dispatch_start_ns = obs::MonotonicNanos();
-  // One worker's round-robin slice, with wall-time attribution: spawn
-  // (dispatch -> first instruction), busy (inside run_shard), queue wait
-  // (ready but not yet running the next shard), idle (lifetime - busy).
+  // One worker slice's round-robin shards, with wall-time attribution:
+  // spawn (pool submit -> first instruction of the slice, i.e. dispatch
+  // latency), busy (inside run_shard), queue wait (ready but not yet
+  // running the next shard), idle (slice lifetime - busy). A "worker" row
+  // is a slice, not an OS thread: the pool may run several slices on one
+  // parked worker thread, and attribution follows the slice.
   auto run_worker = [&](size_t w) {
     WorkerStats& stats = worker_stats[w];
     stats.worker = w;
     const uint64_t worker_start_ns = obs::MonotonicNanos();
     stats.spawn_ns = worker_start_ns - dispatch_start_ns;
-    obs::ProfiledThreadScope profile_scope;
     obs::ScopedSpan worker_span("psgd.worker");
-    // Counters over the worker's whole lifetime, on the worker's own
+    // Counters over the slice's whole lifetime, on the executing pool
     // thread (perf events are per-thread: the caller cannot observe
-    // cycles spent here). The scope closes before the span below.
+    // cycles spent here; pool workers pre-open their counters on attach).
+    // The scope closes before the span below.
     obs::CounterScope worker_counters(&worker_span, &stats.counters);
     for (size_t j = w; j < s; j += worker_count) {
       const uint64_t shard_start_ns = obs::MonotonicNanos();
@@ -258,25 +288,28 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
                                                 : 0;
   };
   if (worker_count <= 1) {
-    // Serial fallback is accounted as one worker with zero spawn cost (no
-    // thread was created; run_worker measures from its own start).
+    // Serial fallback is accounted as one slice with zero dispatch cost
+    // (no pool involved; run_worker measures from its own start). It still
+    // takes the slice name so trace/profile readers find psgd-shard-0
+    // whether or not a pool thread ran it.
+    const std::string caller_name = obs::CurrentThreadName();
+    obs::SetCurrentThreadName("psgd-shard-0");
     run_worker(0);
+    obs::SetCurrentThreadName(caller_name);
     worker_stats[0].spawn_ns = 0;
   } else {
-    // Static round-robin: shard j runs on worker j % worker_count, so the
+    // Static round-robin: shard j runs on slice j % worker_count, so the
     // assignment (though not the result — shards are independent) is also
-    // deterministic.
-    std::vector<std::thread> workers;
-    workers.reserve(worker_count);
-    for (size_t w = 0; w < worker_count; ++w) {
-      workers.emplace_back([&, w]() {
-        // Named here, not in run_worker: the serial fallback runs on the
-        // caller's thread, which must keep its own name.
-        obs::SetCurrentThreadName(StrFormat("psgd-shard-%zu", w));
-        run_worker(w);
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
+    // deterministic. Slices go onto the persistent pool: a warm pool's
+    // parked workers start them without thread creation.
+    pool.ParallelRun(worker_count, [&](size_t w) {
+      // Named per slice, not per pool thread: run_checks' trace audit (and
+      // any profile reader) looks for psgd-shard-N regardless of which
+      // pool worker picked the slice up. The pool restores its own thread
+      // name after the task.
+      obs::SetCurrentThreadName(StrFormat("psgd-shard-%zu", w));
+      run_worker(w);
+    });
   }
   const uint64_t dispatch_end_ns = obs::MonotonicNanos();
 

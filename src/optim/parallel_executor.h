@@ -23,8 +23,12 @@ namespace bolton {
 /// obs monotonic clock. Exposed as psgd.worker_* histograms//metrics and
 /// aggregated here in the run output.
 struct WorkerStats {
-  size_t worker = 0;       // worker index (0-based)
-  uint64_t spawn_ns = 0;   // dispatch -> first instruction in the worker
+  size_t worker = 0;       // worker slice index (0-based)
+  /// Pool-dispatch latency: ParallelRun submit -> first instruction of the
+  /// slice on a pool worker. Warm pools make this microseconds; before the
+  /// pool existed this was per-run thread creation and dominated small
+  /// sharded runs.
+  uint64_t spawn_ns = 0;
   uint64_t busy_ns = 0;    // total time executing shard attempts
   uint64_t idle_ns = 0;    // lifetime - busy (scheduling gaps, imbalance)
   /// Gap time between the worker being ready and each of its shards
@@ -44,7 +48,7 @@ struct WorkerStats {
 struct WorkerUtilization {
   std::vector<WorkerStats> workers;
   uint64_t partition_ns = 0;  // permutation draw + shard split
-  uint64_t dispatch_ns = 0;   // worker creation to last join
+  uint64_t dispatch_ns = 0;   // pool submit to last slice completion
   uint64_t average_ns = 0;    // fixed-order model averaging
   /// Σ busy / Σ (busy + idle) over all workers; 1.0 when every worker was
   /// doing shard work its whole life, lower when spawn/imbalance dominate.
@@ -74,32 +78,6 @@ struct ShardedPsgdOutput {
 /// shard index) — never on worker scheduling order.
 uint64_t ShardSeed(uint64_t seed_base, size_t shard);
 
-/// Graceful degradation policy for shard workers.
-///
-/// A failed shard attempt is retried in place up to `max_attempts` total
-/// attempts, with exponential backoff (base << attempt) plus uniform
-/// jitter between attempts; shards that exhaust their worker's budget are
-/// re-dispatched once onto the main (surviving) thread with a fresh
-/// attempt budget. Every attempt reconstructs the shard rng from the same
-/// ShardSeed, so a shard that eventually succeeds produces a result
-/// bit-identical to one that succeeded first try — the jitter rng is a
-/// separate stream that only affects timing, never results.
-///
-/// HARD POLICY: a shard that never succeeds fails the WHOLE run. Lemma
-/// 10's sensitivity argument calibrates the released average to all s
-/// shard models; averaging a subset would both change the release and
-/// void the calibration, so a partial average is never produced.
-struct ShardRetryPolicy {
-  /// Total attempts per shard per dispatch; 1 disables retry (and the
-  /// re-dispatch phase), reproducing the fail-fast behavior exactly.
-  size_t max_attempts = 1;
-  /// Backoff before retry a (1-based) is base·2^(a−1) ms; 0 retries
-  /// immediately.
-  uint64_t backoff_base_ms = 0;
-  /// Each backoff is stretched by a uniform factor in [1, 1 + jitter_frac].
-  double jitter_frac = 0.0;
-};
-
 /// Shard-parallel black-box PSGD (paper §3.2.3, Lemma 10):
 ///
 ///   1. draw one permutation τ of [m] from `rng` and partition it into
@@ -115,30 +93,39 @@ struct ShardRetryPolicy {
 /// Lemma 10's averaging argument bounds the released average by the max
 /// per-shard sensitivity (see core/sensitivity.h, ShardedMaxSensitivity).
 ///
+/// Execution (pool, slice cap, retry policy, SIMD-tier override) is
+/// governed by `options.executor` (ExecutorConfig in sgd_spec.h — the old
+/// positional `max_threads` / `retry` parameters are gone). Worker slices
+/// are dispatched onto options.executor.pool — GlobalThreadPool() when
+/// null — so repeated runs reuse warm, parked workers instead of spawning
+/// threads per call; WorkerStats::spawn_ns is therefore the pool dispatch
+/// latency (submit → slice start), not thread creation.
+///
 /// Contracts:
 ///  * shards = 1 delegates to RunPsgd — bit-identical to the serial path,
 ///    consuming `rng` identically;
 ///  * for a fixed seed and shard count the result is bit-identical at ANY
-///    `max_threads` (partition and seeds are drawn before workers start,
-///    shard outputs are averaged in shard order);
+///    executor config — max_threads, pool size, warm vs. fresh pool, SIMD
+///    tier (partition and seeds are drawn before workers start, shard
+///    outputs are averaged in shard order, and every SIMD tier is
+///    bit-identical to the scalar reference);
 ///  * a failing shard surfaces through the returned Result<> (no abort);
-///    after `retry` is exhausted the first failing shard's status is
-///    returned with shard context and NO model is released (never a
+///    after `executor.retry` is exhausted the first failing shard's status
+///    is returned with shard context and NO model is released (never a
 ///    partial average — see ShardRetryPolicy);
 ///  * retried attempts re-seed the shard rng identically, so recovery
 ///    does not perturb the released model.
 ///
-/// `max_threads` caps the worker pool (0 = one thread per shard); shards
-/// are assigned round-robin. Requires permutation sampling and no
+/// `executor.max_threads` caps the worker slices (0 = auto: one per shard,
+/// clamped to the pool's worker capacity);
+/// shards are assigned round-robin. Requires permutation sampling and no
 /// per-update noise source (sharding is for the black-box algorithms; the
 /// white-box baselines compose their budgets per update and have no
 /// shard-level analysis here).
 Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
                                          const LossFunction& loss,
                                          const StepSizeSchedule& schedule,
-                                         const PsgdOptions& options, Rng* rng,
-                                         size_t max_threads = 0,
-                                         const ShardRetryPolicy& retry = {});
+                                         const PsgdOptions& options, Rng* rng);
 
 }  // namespace bolton
 

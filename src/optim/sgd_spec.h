@@ -2,8 +2,67 @@
 #define BOLTON_OPTIM_SGD_SPEC_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd.h"
 
 namespace bolton {
+
+class ThreadPool;
+
+/// Graceful degradation policy for shard workers.
+///
+/// A failed shard attempt is retried in place up to `max_attempts` total
+/// attempts, with exponential backoff (base << attempt) plus uniform
+/// jitter between attempts; shards that exhaust their worker's budget are
+/// re-dispatched once onto the main (surviving) thread with a fresh
+/// attempt budget. Every attempt reconstructs the shard rng from the same
+/// ShardSeed, so a shard that eventually succeeds produces a result
+/// bit-identical to one that succeeded first try — the jitter rng is a
+/// separate stream that only affects timing, never results.
+///
+/// HARD POLICY: a shard that never succeeds fails the WHOLE run. Lemma
+/// 10's sensitivity argument calibrates the released average to all s
+/// shard models; averaging a subset would both change the release and
+/// void the calibration, so a partial average is never produced.
+struct ShardRetryPolicy {
+  /// Total attempts per shard per dispatch; 1 disables retry (and the
+  /// re-dispatch phase), reproducing the fail-fast behavior exactly.
+  size_t max_attempts = 1;
+  /// Backoff before retry a (1-based) is base·2^(a−1) ms; 0 retries
+  /// immediately.
+  uint64_t backoff_base_ms = 0;
+  /// Each backoff is stretched by a uniform factor in [1, 1 + jitter_frac].
+  double jitter_frac = 0.0;
+};
+
+/// How a sharded run executes — everything about the release is in the
+/// rest of the spec; everything here can only change speed and fault
+/// tolerance, never results (the executor's determinism contract).
+///
+/// This replaces the old positional `max_threads` / `retry` parameters of
+/// RunShardedPsgd. It rides inside SgdRunSpec, so it flows CLI →
+/// TrainerConfig → SolverSpec → BoltOnOptions → PsgdOptions through the
+/// existing one-line `dst.run() = src.run()` conversions.
+struct ExecutorConfig {
+  /// Pool to dispatch shard slices onto; nullptr = the process-wide
+  /// GlobalThreadPool(). Injecting a pool is for tests and embedders that
+  /// want isolated sizing.
+  ThreadPool* pool = nullptr;
+  /// Caps concurrent worker slices (shards are assigned round-robin to
+  /// slices). 0 = auto: one slice per shard, clamped to the pool's worker
+  /// capacity — slices beyond the workers that can run them would each pay
+  /// a dispatch wakeup for zero added parallelism. Results are
+  /// bit-identical at ANY value; this only shapes parallelism and the
+  /// WorkerStats rows.
+  size_t max_threads = 0;
+  /// Per-shard retry/backoff/re-dispatch policy.
+  ShardRetryPolicy retry;
+  /// Force a SIMD kernel tier for this run (test hook; every tier is
+  /// bit-identical to scalar). kAuto = use the process default. An
+  /// unsupported tier fails the run with InvalidArgument.
+  SimdTier simd = SimdTier::kAuto;
+};
 
 /// Which hypothesis a run returns.
 enum class OutputMode {
@@ -37,6 +96,9 @@ struct SgdRunSpec {
   /// bit-identical to RunPsgd. Only the black-box algorithms (noiseless,
   /// bolt-on) support shards > 1; the white-box baselines reject it.
   size_t shards = 1;
+  /// How (not what) a sharded run executes: pool, slice cap, retry policy,
+  /// SIMD-tier override. Never affects released results.
+  ExecutorConfig executor;
 
   SgdRunSpec() = default;
   SgdRunSpec(size_t passes, size_t batch_size)

@@ -10,9 +10,11 @@
 #include "core/private_sgd.h"
 #include "core/sensitivity.h"
 #include "data/synthetic.h"
+#include "linalg/simd.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "optim/schedule.h"
+#include "optim/thread_pool.h"
 #include "util/failpoint.h"
 
 namespace bolton {
@@ -87,8 +89,8 @@ TEST(ParallelExecutorTest, DeterministicAtAnyThreadCount) {
   Vector reference;
   for (size_t max_threads : {1u, 2u, 4u, 0u}) {
     Rng rng(23);
-    auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng,
-                              max_threads);
+    options.executor.max_threads = max_threads;
+    auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
     ASSERT_TRUE(run.ok()) << run.status().ToString();
     if (reference.empty()) {
       reference = run.value().model;
@@ -282,20 +284,22 @@ TEST(ParallelExecutorTest, InjectedShardFaultRecoversViaRetryBitIdentically) {
   auto clean = RunShardedPsgd(data, *loss, *schedule, options, &clean_rng);
   ASSERT_TRUE(clean.ok());
 
-  // The first two shard attempts of the whole run fail (max_threads = 1
-  // makes the hit order deterministic: shard 0's first two attempts), then
+  // The first two shard attempts of the whole run fail (executor
+  // max_threads = 1 makes the hit order deterministic: shard 0's first two
+  // attempts), then
   // the failpoint goes quiet and the retry budget recovers the run.
   ASSERT_TRUE(
       FailpointRegistry::Default().Configure("shard.worker:error*2").ok());
-  ShardRetryPolicy retry;
-  retry.max_attempts = 3;
-  retry.backoff_base_ms = 1;  // exercise the backoff+jitter path cheaply
-  retry.jitter_frac = 0.5;
+  options.executor.max_threads = 1;
+  options.executor.retry.max_attempts = 3;
+  // exercise the backoff+jitter path cheaply
+  options.executor.retry.backoff_base_ms = 1;
+  options.executor.retry.jitter_frac = 0.5;
   obs::SetMetricsEnabled(true);
   obs::MetricsRegistry::Default().Reset();
   Rng faulty_rng(53);
   auto recovered = RunShardedPsgd(data, *loss, *schedule, options,
-                                  &faulty_rng, /*max_threads=*/1, retry);
+                                  &faulty_rng);
   FailpointRegistry::Default().Clear();
   obs::SetMetricsEnabled(false);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
@@ -328,11 +332,10 @@ TEST(ParallelExecutorTest, ExhaustedRetriesFailTheRunNeverPartialAverage) {
   // privacy-sound).
   ASSERT_TRUE(
       FailpointRegistry::Default().Configure("shard.worker:error").ok());
-  ShardRetryPolicy retry;
-  retry.max_attempts = 2;
+  options.executor.max_threads = 1;
+  options.executor.retry.max_attempts = 2;
   Rng rng(59);
-  auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng,
-                            /*max_threads=*/1, retry);
+  auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
   FailpointRegistry::Default().Clear();
   obs::PrivacyLedger::Default().SetEnabled(false);
   ASSERT_FALSE(run.ok());
@@ -362,9 +365,9 @@ TEST(ParallelExecutorTest, UtilizationAccountsEveryWorker) {
   PsgdOptions options;
   options.passes = 2;
   options.shards = 4;
+  options.executor.max_threads = 2;
   Rng rng(17);
-  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng,
-                            /*max_threads=*/2);
+  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
 
   const WorkerUtilization& util = out.value().utilization;
@@ -392,9 +395,9 @@ TEST(ParallelExecutorTest, WorkersCarryPerfCounterDeltas) {
   PsgdOptions options;
   options.passes = 2;
   options.shards = 2;
+  options.executor.max_threads = 2;
   Rng rng(29);
-  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng,
-                            /*max_threads=*/2);
+  auto out = RunShardedPsgd(data, *loss, *schedule, options, &rng);
   obs::SetPerfCountersEnabled(false);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_EQ(out.value().utilization.workers.size(), 2u);
@@ -429,6 +432,9 @@ TEST(ParallelExecutorTest, WorkerMetricsRecorded) {
   auto schedule = MakeConstantStep(0.1).MoveValue();
   PsgdOptions options;
   options.shards = 2;
+  // Pin two slices: the auto policy (max_threads = 0) sizes to the pool's
+  // capacity, which is machine-dependent.
+  options.executor.max_threads = 2;
   Rng rng(23);
   ASSERT_TRUE(RunShardedPsgd(data, *loss, *schedule, options, &rng).ok());
 
@@ -451,18 +457,90 @@ TEST(ParallelExecutorTest, WorkerMetricsRecorded) {
   obs::SetMetricsEnabled(false);
 }
 
+TEST(ParallelExecutorTest, PoolReuseIsDeterministicFreshVsWarm) {
+  Dataset data = MakeTrainingSet(180);
+  auto loss = MakeLogisticLoss(0.1, 10.0).MoveValue();
+  auto schedule = MakeInverseTimeStep(0.1, 1.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 3;
+  options.radius = 10.0;
+  options.shards = 4;
+
+  // Reference: the global pool (whatever its warmth).
+  Rng reference_rng(71);
+  auto reference =
+      RunShardedPsgd(data, *loss, *schedule, options, &reference_rng);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (size_t workers : {1u, 2u, 4u}) {
+    // Fresh pool: first run pays worker spawn, second reuses warm parked
+    // workers. Both must be bit-identical to the reference and each other
+    // — results may depend only on (seed, shard count), never on pool
+    // temperature or size.
+    ThreadPoolOptions pool_options;
+    pool_options.max_threads = workers;
+    ThreadPool pool(pool_options);
+    options.executor.pool = &pool;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      Rng rng(71);
+      auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(reference.value().model, run.value().model)
+          << "workers=" << workers << " repeat=" << repeat;
+    }
+    options.executor.pool = nullptr;
+  }
+}
+
+TEST(ParallelExecutorTest, ExecutorSimdOverrideIsBitIdenticalToDefault) {
+  Dataset data = MakeTrainingSet(120);
+  auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
+  auto schedule = MakeConstantStep(0.1).MoveValue();
+  PsgdOptions options;
+  options.passes = 2;
+  options.batch_size = 2;
+  options.shards = 2;
+
+  Rng default_rng(83);
+  auto with_default =
+      RunShardedPsgd(data, *loss, *schedule, options, &default_rng);
+  ASSERT_TRUE(with_default.ok());
+
+  // Every supported tier must release the same bits (the kernel-level
+  // contract, exercised end-to-end through a full sharded run).
+  for (SimdTier tier : {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kAvx2,
+                        SimdTier::kAvx512}) {
+    if (!SimdTierSupported(tier)) continue;
+    options.executor.simd = tier;
+    Rng rng(83);
+    auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(with_default.value().model, run.value().model)
+        << "tier=" << SimdTierName(tier);
+  }
+  // The override is scoped to the run: the process default is restored.
+  EXPECT_EQ(ActiveSimdTier(), DefaultSimdTier());
+
+  // An unsupported tier is an InvalidArgument, not a silent clamp.
+  if (!SimdTierSupported(SimdTier::kAvx512)) {
+    options.executor.simd = SimdTier::kAvx512;
+    Rng rng(83);
+    auto run = RunShardedPsgd(data, *loss, *schedule, options, &rng);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(ParallelExecutorTest, RetryPolicyValidatesMaxAttempts) {
   Dataset data = MakeTrainingSet(20);
   auto loss = MakeLogisticLoss(0.0, kInf).MoveValue();
   auto schedule = MakeConstantStep(0.1).MoveValue();
   PsgdOptions options;
   options.shards = 2;
-  ShardRetryPolicy retry;
-  retry.max_attempts = 0;
+  options.executor.retry.max_attempts = 0;
   Rng rng(61);
-  EXPECT_FALSE(RunShardedPsgd(data, *loss, *schedule, options, &rng,
-                              /*max_threads=*/0, retry)
-                   .ok());
+  EXPECT_FALSE(RunShardedPsgd(data, *loss, *schedule, options, &rng).ok());
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+#include "linalg/simd.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace bolton {
+namespace {
+
+/// Every kernel is compared BIT-FOR-BIT against the scalar reference on the
+/// same inputs, across every tier the CPU supports, over lengths that cover
+/// the empty case, pure-tail cases (n < 8), the exact vector widths, and
+/// misaligned remainders. EXPECT_EQ on doubles is deliberate: the contract
+/// is bit-compatibility at equal rounding mode, not closeness.
+
+std::vector<SimdTier> SupportedTiers() {
+  std::vector<SimdTier> tiers;
+  for (SimdTier tier : {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kAvx2,
+                        SimdTier::kAvx512}) {
+    if (SimdTierSupported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+std::vector<double> RandomValues(size_t n, Rng* rng) {
+  std::vector<double> values(n);
+  for (double& v : values) v = rng->UniformDouble(-3.0, 3.0);
+  return values;
+}
+
+const std::vector<size_t>& Lengths() {
+  static const std::vector<size_t> lengths = {0,  1,  2,  3,  4,  5,  7, 8,
+                                              9,  12, 15, 16, 17, 24, 31, 32,
+                                              33, 50, 63, 64, 100, 1000};
+  return lengths;
+}
+
+TEST(SimdTest, DetectionAndNames) {
+  // The probe returns a real tier, scalar is always supported, and tiers
+  // round-trip through their names.
+  EXPECT_NE(DetectedSimdTier(), SimdTier::kAuto);
+  EXPECT_TRUE(SimdTierSupported(SimdTier::kScalar));
+  EXPECT_TRUE(SimdTierSupported(DetectedSimdTier()));
+  EXPECT_FALSE(SimdTierSupported(SimdTier::kAuto));
+  for (SimdTier tier : SupportedTiers()) {
+    SimdTier parsed;
+    ASSERT_TRUE(ParseSimdTier(SimdTierName(tier), &parsed));
+    EXPECT_EQ(parsed, tier);
+  }
+  SimdTier parsed;
+  EXPECT_TRUE(ParseSimdTier("auto", &parsed));
+  EXPECT_EQ(parsed, SimdTier::kAuto);
+  EXPECT_TRUE(ParseSimdTier("avx512f", &parsed));
+  EXPECT_EQ(parsed, SimdTier::kAvx512);
+  EXPECT_FALSE(ParseSimdTier("neon", &parsed));
+  EXPECT_FALSE(ParseSimdTier("", &parsed));
+}
+
+TEST(SimdTest, ScopedForceTierRestores) {
+  const SimdTier before = ActiveSimdTier();
+  {
+    ScopedSimdTier forced(SimdTier::kScalar);
+    EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+    {
+      // Nested scopes restore in LIFO order.
+      ScopedSimdTier nested(DetectedSimdTier());
+      EXPECT_EQ(ActiveSimdTier(), DetectedSimdTier());
+    }
+    EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdTier(), before);
+  // Forcing an unsupported tier fails and leaves the dispatch unchanged.
+  if (!SimdTierSupported(SimdTier::kAvx512)) {
+    EXPECT_FALSE(ForceSimdTier(SimdTier::kAvx512));
+    EXPECT_EQ(ActiveSimdTier(), before);
+  }
+}
+
+TEST(SimdTest, ReductionsBitCompatibleAcrossTiers) {
+  Rng rng(2024);
+  for (size_t n : Lengths()) {
+    const std::vector<double> x = RandomValues(n, &rng);
+    const std::vector<double> y = RandomValues(n, &rng);
+    double expected_dot, expected_norm, expected_dist;
+    {
+      ScopedSimdTier scalar(SimdTier::kScalar);
+      expected_dot = SimdDot(x.data(), y.data(), n);
+      expected_norm = SimdSquaredNorm(x.data(), n);
+      expected_dist = SimdSquaredDistance(x.data(), y.data(), n);
+    }
+    for (SimdTier tier : SupportedTiers()) {
+      ScopedSimdTier forced(tier);
+      EXPECT_EQ(SimdDot(x.data(), y.data(), n), expected_dot)
+          << "dot n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(SimdSquaredNorm(x.data(), n), expected_norm)
+          << "squared_norm n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(SimdSquaredDistance(x.data(), y.data(), n), expected_dist)
+          << "squared_distance n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdTest, ElementwiseBitCompatibleAcrossTiers) {
+  Rng rng(4096);
+  const double a = -0.37;
+  for (size_t n : Lengths()) {
+    const std::vector<double> x = RandomValues(n, &rng);
+    const std::vector<double> y = RandomValues(n, &rng);
+
+    std::vector<double> axpy_ref = y, scale_ref = y, add_ref = y,
+                        sub_ref = y;
+    {
+      ScopedSimdTier scalar(SimdTier::kScalar);
+      SimdAxpy(a, x.data(), axpy_ref.data(), n);
+      SimdScale(scale_ref.data(), a, n);
+      SimdAdd(add_ref.data(), x.data(), n);
+      SimdSub(sub_ref.data(), x.data(), n);
+    }
+    for (SimdTier tier : SupportedTiers()) {
+      ScopedSimdTier forced(tier);
+      std::vector<double> axpy_out = y, scale_out = y, add_out = y,
+                          sub_out = y;
+      SimdAxpy(a, x.data(), axpy_out.data(), n);
+      SimdScale(scale_out.data(), a, n);
+      SimdAdd(add_out.data(), x.data(), n);
+      SimdSub(sub_out.data(), x.data(), n);
+      EXPECT_EQ(axpy_out, axpy_ref)
+          << "axpy n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(scale_out, scale_ref)
+          << "scale n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(add_out, add_ref)
+          << "add n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(sub_out, sub_ref)
+          << "sub n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdTest, SpecialValuesPropagateIdentically) {
+  // NaN/Inf handling must also match the scalar reference bit-for-bit in
+  // structure (NaN payloads aside, the *pattern* of non-finite results and
+  // finite values must agree; we compare bitwise on finite entries and
+  // classification on non-finite ones).
+  std::vector<double> x = {1.0, -2.0, std::numeric_limits<double>::infinity(),
+                           4.0, 5e300, -5e300, 7.0, 8.0, 9.0, -1.5};
+  std::vector<double> y = {0.5, 0.25, 2.0, 1.0, 5e300, 5e300, 0.125, 2.0,
+                           -3.0, 4.0};
+  const size_t n = x.size();
+  double expected;
+  {
+    ScopedSimdTier scalar(SimdTier::kScalar);
+    expected = SimdDot(x.data(), y.data(), n);
+  }
+  for (SimdTier tier : SupportedTiers()) {
+    ScopedSimdTier forced(tier);
+    const double got = SimdDot(x.data(), y.data(), n);
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(got)) << SimdTierName(tier);
+    } else {
+      EXPECT_EQ(got, expected) << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdTest, SparseDotBitIdenticalToDenseDot) {
+  // The sparse gather must reproduce the dense canonical order exactly:
+  // SimdSparseDot(sparsify(x), y) == SimdDot(x, y) bit-for-bit at every
+  // tier, including pure-tail dims and ~70%-zero vectors.
+  Rng rng(777);
+  for (size_t n : Lengths()) {
+    std::vector<double> x = RandomValues(n, &rng);
+    const std::vector<double> y = RandomValues(n, &rng);
+    std::vector<std::pair<size_t, double>> entries;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.UniformDouble(0.0, 1.0) < 0.7) {
+        x[i] = 0.0;
+      } else {
+        entries.emplace_back(i, x[i]);
+      }
+    }
+    for (SimdTier tier : SupportedTiers()) {
+      ScopedSimdTier forced(tier);
+      EXPECT_EQ(SimdSparseDot(entries.data(), entries.size(), y.data(), n),
+                SimdDot(x.data(), y.data(), n))
+          << "sparse dot n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdTest, SmallDimensionsMatchSequentialSum) {
+  // For n < 8 the canonical order degenerates to a plain sequential sum
+  // (all 8 lanes empty, tail in index order) — the pre-SIMD behavior, so
+  // small-dimension callers see unchanged numerics.
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0};
+  double sequential = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sequential += x[i] * y[i];
+  EXPECT_EQ(SimdDot(x.data(), y.data(), x.size()), sequential);
+}
+
+}  // namespace
+}  // namespace bolton

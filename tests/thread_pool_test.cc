@@ -1,0 +1,143 @@
+#include "optim/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bolton {
+namespace {
+
+ThreadPoolOptions SmallPool(size_t max_threads, uint64_t idle_ms = 2000) {
+  ThreadPoolOptions options;
+  options.max_threads = max_threads;
+  options.idle_timeout_ms = idle_ms;
+  options.name_prefix = "test-pool";
+  return options;
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(SmallPool(4));
+  constexpr size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelRun(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_run, kCount);
+  EXPECT_EQ(stats.batches_run, 1u);
+  EXPECT_LE(stats.live_threads, 4u);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(SmallPool(2));
+  pool.ParallelRun(0, [&](size_t) { FAIL() << "no task should run"; });
+  EXPECT_EQ(pool.stats().tasks_run, 0u);
+  EXPECT_EQ(pool.stats().threads_spawned, 0u);  // fully lazy
+}
+
+TEST(ThreadPoolTest, WarmReuseSpawnsNoNewThreads) {
+  ThreadPool pool(SmallPool(2));
+  std::atomic<size_t> ran{0};
+  pool.ParallelRun(2, [&](size_t) { ran.fetch_add(1); });
+  const uint64_t spawned_after_first = pool.stats().threads_spawned;
+  EXPECT_GE(spawned_after_first, 1u);
+  // Parked (not retired) workers must be reused: further batches spawn
+  // nothing — this is the whole point of the pool vs. per-run threads.
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    pool.ParallelRun(2, [&](size_t) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(pool.stats().threads_spawned, spawned_after_first);
+  EXPECT_EQ(ran.load(), 12u);
+}
+
+TEST(ThreadPoolTest, IdleWorkersRetireAndRespawnOnDemand) {
+  ThreadPool pool(SmallPool(2, /*idle_ms=*/50));
+  pool.ParallelRun(2, [](size_t) {});
+  // Workers park idle, then spin down after the timeout; poll rather than
+  // assume exact timing.
+  bool drained = false;
+  for (int i = 0; i < 100; ++i) {
+    if (pool.stats().live_threads == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(drained) << "idle workers did not spin down";
+  EXPECT_GE(pool.stats().threads_retired, 1u);
+
+  // The drained pool respawns on demand and still runs everything.
+  std::atomic<size_t> ran{0};
+  pool.ParallelRun(4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(ThreadPoolTest, MoreTasksThanWorkersDrain) {
+  ThreadPool pool(SmallPool(1));
+  std::atomic<size_t> ran{0};
+  pool.ParallelRun(16, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 16u);
+  EXPECT_LE(pool.stats().live_threads, 1u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareTheWorkers) {
+  ThreadPool pool(SmallPool(4));
+  std::atomic<size_t> ran{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int batch = 0; batch < 8; ++batch) {
+        pool.ParallelRun(8, [&](size_t) { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(ran.load(), 4u * 8u * 8u);
+  // The pool never exceeded its cap, no matter how many callers piled on.
+  EXPECT_LE(pool.stats().threads_spawned, 4u + pool.stats().threads_retired);
+}
+
+TEST(ThreadPoolTest, NestedParallelRunOnOwnPoolRunsInline) {
+  ThreadPool pool(SmallPool(1));
+  std::atomic<size_t> inner_ran{0};
+  // With max_threads = 1 a parked nested batch would deadlock; the inline
+  // fallback must complete it on the worker itself.
+  pool.ParallelRun(1, [&](size_t) {
+    pool.ParallelRun(3, [&](size_t) { inner_ran.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.max_threads(), 1u);
+  std::atomic<size_t> ran{0};
+  a.ParallelRun(3, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, StatsSnapshotIsConsistent) {
+  ThreadPool pool(SmallPool(3));
+  pool.ParallelRun(9, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.max_threads, 3u);
+  EXPECT_EQ(stats.tasks_run, 9u);
+  EXPECT_EQ(stats.batches_run, 1u);
+  EXPECT_GE(stats.threads_spawned, 1u);
+  EXPECT_LE(stats.live_threads, 3u);
+  EXPECT_LE(stats.idle_threads, stats.live_threads);
+}
+
+}  // namespace
+}  // namespace bolton

@@ -108,7 +108,7 @@ int Train(int argc, char** argv) {
   std::string model_kind = "logistic";
   std::string model_path = "model.txt";
   double epsilon = 1.0, delta = 0.0, lambda = 0.0, huber_h = 0.1;
-  int64_t passes = 10, batch = 50, shards = 1;
+  int64_t passes = 10, batch = 50, shards = 1, threads = 0;
   bool metrics = false;
   std::string trace_out, trace_chrome_out, ledger_out;
   int64_t serve_obs = -1, serve_obs_linger = 0;
@@ -133,6 +133,11 @@ int Train(int argc, char** argv) {
   parser.AddInt("shards", &shards,
                 "disjoint data shards trained in parallel and averaged "
                 "(noiseless/ours only; 1 = serial)");
+  parser.AddInt("threads", &threads,
+                "cap on concurrent shard workers dispatched to the "
+                "process thread pool (0 = auto: one per shard, up to the "
+                "pool's capacity); never changes the released model, only "
+                "speed");
   parser.AddBool("metrics", &metrics, "print a metrics dump after training");
   parser.AddString("trace-out", &trace_out,
                    "write trace spans as JSONL to this file");
@@ -221,6 +226,7 @@ int Train(int argc, char** argv) {
   config.passes = static_cast<size_t>(passes);
   config.batch_size = static_cast<size_t>(batch);
   config.shards = static_cast<size_t>(shards);
+  config.executor.max_threads = static_cast<size_t>(threads);
   config.privacy = PrivacyParams{epsilon, delta};
 
   // The profiler brackets the training call itself: sampling starts after

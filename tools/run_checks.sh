@@ -151,6 +151,24 @@ else
        "hardware-count assertions skipped"
 fi
 
+echo "== kernel-dispatch pass (BOLTON_SIMD tiers release identical models) =="
+# The SIMD bit-identity contract, end to end: the same sharded train forced
+# onto scalar, SSE2, and AVX2 gradient kernels must release byte-identical
+# model files. An unsupported tier clamps to the best available with a
+# warning (never fails), so this passes on any host — on a machine without
+# AVX2 the avx2 leg simply re-runs the best supported tier.
+"$CLI" version | grep -Eq 'scalar|sse2|avx2|avx512' \
+    || { echo "version line does not name the SIMD tier"; exit 1; }
+for tier in scalar sse2 avx2; do
+  BOLTON_SIMD="$tier" "$CLI" train --data "$WORKDIR/train.libsvm" \
+      --algo ours --epsilon 2 --lambda 0.01 --passes 3 --batch 10 \
+      --shards 2 --model "$WORKDIR/model_simd_$tier.txt" > /dev/null
+done
+cmp "$WORKDIR/model_simd_scalar.txt" "$WORKDIR/model_simd_sse2.txt" \
+    || { echo "sse2 kernels released a different model"; exit 1; }
+cmp "$WORKDIR/model_simd_scalar.txt" "$WORKDIR/model_simd_avx2.txt" \
+    || { echo "avx2 kernels released a different model"; exit 1; }
+
 echo "== fault-injection pass (failpoints + checkpoint/resume, sanitized) =="
 # An armed failpoint must abort the run with a clean injected error while
 # leaving a resumable checkpoint behind. --ledger-out enables the ledger so
@@ -216,7 +234,7 @@ grep -q '"failpoints":"psgd.pass:panic@2"' "$PM/postmortem.json"
 # Finalizing twice is safe; a crash-free armed run leaves nothing behind.
 "$CLI" postmortem finalize --dir "$PM" > /dev/null
 
-echo "== ThreadSanitizer pass (obs server, registries, sharded executor) =="
+echo "== ThreadSanitizer pass (obs server, registries, pool, executor) =="
 cmake -S "$ROOT" -B "$TSAN_BUILD" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
@@ -224,18 +242,19 @@ cmake -S "$ROOT" -B "$TSAN_BUILD" \
   > "$TSAN_BUILD.configure.log" 2>&1 || { cat "$TSAN_BUILD.configure.log"; exit 1; }
 cmake --build "$TSAN_BUILD" -j \
   -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
-  -t profiler_test -t perf_counters_test -t parallel_executor_test \
-  -t solver_test -t failpoint_test -t checkpoint_test \
-  -t logging_test -t postmortem_test
+  -t profiler_test -t perf_counters_test -t thread_pool_test \
+  -t parallel_executor_test -t solver_test -t failpoint_test \
+  -t checkpoint_test -t logging_test -t postmortem_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|parallel_executor|solver|failpoint|checkpoint|logging|postmortem)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|thread_pool|parallel_executor|solver|failpoint|checkpoint|logging|postmortem)_test$'
 
-echo "== bench regression gate (parallel scaling vs BENCH_PR4.json) =="
+echo "== bench regression gate (parallel scaling vs BENCH_PR9.json) =="
 # Gate only when python3 and the baseline are available (the baseline rows
 # were captured on the reference machine; the generous threshold absorbs
 # machine-to-machine noise while still catching order-of-magnitude
-# regressions in the sharded executor).
-if command -v python3 > /dev/null 2>&1 && [ -f "$ROOT/BENCH_PR4.json" ]; then
+# regressions in the sharded executor). BENCH_PR9 is the pooled-executor
+# baseline and carries an explicit serial row per m.
+if command -v python3 > /dev/null 2>&1 && [ -f "$ROOT/BENCH_PR9.json" ]; then
   # Run the unsanitized build — the baseline was captured without
   # sanitizers, so an ASan binary would always look like a regression.
   cmake -S "$ROOT" -B "$PRIMARY_BUILD" \
@@ -261,13 +280,11 @@ for row in rows:
             assert field in counters, f"counters missing {field}: {row['name']}"
 print(f"checked counters on {len(rows)} bench rows")
 EOF
-  # Diffing against the counter-less PR4 baseline must keep working — the
-  # counters field is additive.
   python3 "$ROOT/tools/benchdiff.py" diff \
-      "$ROOT/BENCH_PR4.json" "$WORKDIR/parallel_scaling.json" \
+      "$ROOT/BENCH_PR9.json" "$WORKDIR/parallel_scaling.json" \
       --threshold 0.75
 else
-  echo "skipped (python3 or BENCH_PR4.json missing)"
+  echo "skipped (python3 or BENCH_PR9.json missing)"
 fi
 
 echo "all checks passed"
