@@ -14,6 +14,7 @@
 
 #include "core/private_sgd.h"
 #include "optim/schedule.h"
+#include "util/atomic_file.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -184,6 +185,7 @@ std::string RenderCheckpoint(const CheckpointData& data) {
     out += " " + EncodeToken(event.kind);
     out += " " + EncodeToken(event.mechanism);
     out += " " + EncodeToken(event.label);
+    out += " " + EncodeToken(event.tenant);
     AppendDouble(&out, event.epsilon);
     AppendDouble(&out, event.delta);
     AppendDouble(&out, event.sensitivity);
@@ -330,27 +332,32 @@ Result<CheckpointData> ParseCheckpoint(const std::string& content,
   data.ledger.reserve(ledger_count);
   for (uint64_t i = 0; i < ledger_count; ++i) {
     BOLTON_ASSIGN_OR_RETURN(auto tokens, tokens_for(13 + i, "event"));
-    if (tokens.size() != 16) {
+    // 17 fields since the tenant column was added; 16-field events from
+    // pre-tenant checkpoints parse with an empty tenant.
+    if (tokens.size() != 16 && tokens.size() != 17) {
       return Status::InvalidArgument(
-          StrFormat("ledger event %llu has %zu fields, want 16",
+          StrFormat("ledger event %llu has %zu fields, want 16 or 17",
                     static_cast<unsigned long long>(i), tokens.size()));
     }
+    const bool has_tenant = tokens.size() == 17;
+    size_t t = 1;
     obs::LedgerEvent event;
-    BOLTON_ASSIGN_OR_RETURN(event.seq, ParseU64(tokens[1]));
-    BOLTON_ASSIGN_OR_RETURN(event.time_ns, ParseU64(tokens[2]));
-    event.kind = DecodeToken(tokens[3]);
-    event.mechanism = DecodeToken(tokens[4]);
-    event.label = DecodeToken(tokens[5]);
-    BOLTON_ASSIGN_OR_RETURN(event.epsilon, ParseDouble(tokens[6]));
-    BOLTON_ASSIGN_OR_RETURN(event.delta, ParseDouble(tokens[7]));
-    BOLTON_ASSIGN_OR_RETURN(event.sensitivity, ParseDouble(tokens[8]));
-    BOLTON_ASSIGN_OR_RETURN(event.noise_scale, ParseDouble(tokens[9]));
-    BOLTON_ASSIGN_OR_RETURN(event.noise_norm, ParseDouble(tokens[10]));
-    BOLTON_ASSIGN_OR_RETURN(event.dim, ParseU64(tokens[11]));
-    BOLTON_ASSIGN_OR_RETURN(event.step, ParseU64(tokens[12]));
-    BOLTON_ASSIGN_OR_RETURN(event.shards, ParseU64(tokens[13]));
-    BOLTON_ASSIGN_OR_RETURN(event.rng_fingerprint, ParseU64(tokens[14]));
-    BOLTON_ASSIGN_OR_RETURN(uint64_t accepted, ParseU64(tokens[15]));
+    BOLTON_ASSIGN_OR_RETURN(event.seq, ParseU64(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.time_ns, ParseU64(tokens[t++]));
+    event.kind = DecodeToken(tokens[t++]);
+    event.mechanism = DecodeToken(tokens[t++]);
+    event.label = DecodeToken(tokens[t++]);
+    if (has_tenant) event.tenant = DecodeToken(tokens[t++]);
+    BOLTON_ASSIGN_OR_RETURN(event.epsilon, ParseDouble(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.delta, ParseDouble(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.sensitivity, ParseDouble(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.noise_scale, ParseDouble(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.noise_norm, ParseDouble(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.dim, ParseU64(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.step, ParseU64(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.shards, ParseU64(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(event.rng_fingerprint, ParseU64(tokens[t++]));
+    BOLTON_ASSIGN_OR_RETURN(uint64_t accepted, ParseU64(tokens[t++]));
     event.accepted = accepted != 0;
     data.ledger.push_back(std::move(event));
   }
@@ -360,43 +367,6 @@ Result<CheckpointData> ParseCheckpoint(const std::string& content,
 Status ErrnoIOError(const std::string& what, const std::string& path) {
   return Status::IOError(
       StrFormat("%s %s: %s", what.c_str(), path.c_str(), std::strerror(errno)));
-}
-
-/// write-to-tmp + fsync + rename + fsync(dir): after a crash at any point
-/// the destination holds either the old contents or the new, never a mix.
-Status AtomicWriteFile(const std::string& tmp_path, const std::string& path,
-                       const std::string& dir, const std::string& content) {
-  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0600);
-  if (fd < 0) return ErrnoIOError("cannot open", tmp_path);
-  size_t written = 0;
-  while (written < content.size()) {
-    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status status = ErrnoIOError("write failed for", tmp_path);
-      ::close(fd);
-      return status;
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    Status status = ErrnoIOError("fsync failed for", tmp_path);
-    ::close(fd);
-    return status;
-  }
-  if (::close(fd) != 0) return ErrnoIOError("close failed for", tmp_path);
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    return ErrnoIOError("rename failed for", path);
-  }
-  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    // Durability of the rename itself; best-effort on filesystems that
-    // reject directory fsync.
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
-  return Status::OK();
 }
 
 }  // namespace

@@ -150,13 +150,14 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
 std::string RenderLedgerEventJson(const LedgerEvent& e) {
   return StrFormat(
       "{\"seq\":%llu,\"time_ns\":%llu,\"kind\":\"%s\",\"mechanism\":\"%s\","
-      "\"label\":\"%s\",\"epsilon\":%.17g,\"delta\":%.17g,"
+      "\"label\":\"%s\",\"tenant\":\"%s\",\"epsilon\":%.17g,\"delta\":%.17g,"
       "\"sensitivity\":%.17g,\"noise_scale\":%.17g,\"noise_norm\":%.17g,"
       "\"dim\":%llu,\"step\":%llu,\"shards\":%llu,"
       "\"rng_fingerprint\":%llu,\"accepted\":%s}",
       static_cast<unsigned long long>(e.seq),
       static_cast<unsigned long long>(e.time_ns), JsonEscape(e.kind).c_str(),
-      JsonEscape(e.mechanism).c_str(), JsonEscape(e.label).c_str(), e.epsilon,
+      JsonEscape(e.mechanism).c_str(), JsonEscape(e.label).c_str(),
+      JsonEscape(e.tenant).c_str(), e.epsilon,
       e.delta, e.sensitivity, e.noise_scale, e.noise_norm,
       static_cast<unsigned long long>(e.dim),
       static_cast<unsigned long long>(e.step),

@@ -21,6 +21,7 @@
 #include "util/logging.h"
 #include "util/net.h"
 #include "util/strings.h"
+#include "util/thread_name.h"
 
 namespace bolton {
 namespace obs {
@@ -39,11 +40,32 @@ std::string StatusLine(int http_status) {
       return "HTTP/1.0 404 Not Found";
     case 405:
       return "HTTP/1.0 405 Method Not Allowed";
+    case 408:
+      return "HTTP/1.0 408 Request Timeout";
+    case 413:
+      return "HTTP/1.0 413 Payload Too Large";
+    case 429:
+      return "HTTP/1.0 429 Too Many Requests";
+    case 500:
+      return "HTTP/1.0 500 Internal Server Error";
     case 503:
       return "HTTP/1.0 503 Service Unavailable";
     default:
       return StrFormat("HTTP/1.0 %d Error", http_status);
   }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = StatusLine(response.status);
+  out += StrFormat("\r\nContent-Type: %s\r\nContent-Length: %zu",
+                   response.content_type.c_str(), response.body.size());
+  for (const auto& header : response.headers) {
+    out += StrFormat("\r\n%s: %s", header.first.c_str(),
+                     header.second.c_str());
+  }
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
 }
 
 /// "/ledger?tail=25" -> path "/ledger", query "tail=25".
@@ -57,6 +79,28 @@ void SplitTarget(const std::string& target, std::string* path,
     *path = target.substr(0, mark);
     *query = target.substr(mark + 1);
   }
+}
+
+/// Case-insensitive "Content-Length" value from a raw header block, or -1
+/// when absent, or an error when present but malformed.
+Result<int64_t> ContentLengthOf(const std::string& head) {
+  for (const std::string& line : StrSplit(head, '\n')) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    if (name != "content-length") continue;
+    const std::string value(StripWhitespace(line.substr(colon + 1)));
+    auto parsed = ParseInt(value);
+    if (!parsed.ok() || parsed.value() < 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad Content-Length '%s'", value.c_str()));
+    }
+    return parsed.value();
+  }
+  return static_cast<int64_t>(-1);
 }
 
 /// Value of `key` in an "a=1&b=2" query string, or `fallback` when the key
@@ -97,11 +141,11 @@ constexpr int64_t kMaxProfileSeconds = 60;
 ///
 /// seconds > 0: run the sampling profiler for that long (capped at
 /// kMaxProfileSeconds) and answer with the dump — the request blocks for
-/// the duration, which is fine for the single-connection poll-deadline
-/// server since profiling IS the work the caller asked for. seconds = 0:
-/// snapshot a profiler some other surface (e.g. `train --profile-out`)
-/// already started, without stopping it. 503 when a timed request races a
-/// profiling session already in flight — there is one global profiler.
+/// the duration, which is fine since profiling IS the work the caller
+/// asked for. seconds = 0: snapshot a profiler some other surface (e.g.
+/// `train --profile-out`) already started, without stopping it. 503 when a
+/// timed request races a profiling session already in flight — there is
+/// one global profiler.
 std::string HandleProfile(const std::string& query,
                           const std::atomic<bool>& server_stop,
                           int* http_status, std::string* content_type) {
@@ -169,21 +213,28 @@ std::string HandleProfile(const std::string& query,
 
 }  // namespace
 
-Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port,
-                                                    int io_timeout_ms) {
-  if (port < 0 || port > 65535) {
+Result<std::unique_ptr<ObsServer>> ObsServer::Start(
+    const ObsServerOptions& options) {
+  if (options.port < 0 || options.port > 65535) {
     return Status::InvalidArgument(
-        StrFormat("obs server port out of range: %d", port));
+        StrFormat("obs server port out of range: %d", options.port));
   }
-  if (io_timeout_ms <= 0) {
+  if (options.io_timeout_ms <= 0) {
     return Status::InvalidArgument(
         StrFormat("obs server io timeout must be > 0 ms, got %d",
-                  io_timeout_ms));
+                  options.io_timeout_ms));
+  }
+  if (options.handler_threads < 1) {
+    return Status::InvalidArgument("obs server needs >= 1 handler thread");
+  }
+  if (options.max_pending < 1) {
+    return Status::InvalidArgument("obs server pending queue must hold >= 1");
   }
   std::unique_ptr<ObsServer> server(new ObsServer());
-  server->io_timeout_ms_ = io_timeout_ms;
-  BOLTON_ASSIGN_OR_RETURN(server->listen_fd_,
-                          net::ListenTcp(static_cast<uint16_t>(port)));
+  server->options_ = options;
+  BOLTON_ASSIGN_OR_RETURN(
+      server->listen_fd_,
+      net::ListenTcp(static_cast<uint16_t>(options.port)));
   BOLTON_ASSIGN_OR_RETURN(server->port_, net::LocalPort(server->listen_fd_));
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
@@ -193,22 +244,50 @@ Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port,
   server->wake_read_fd_ = pipe_fds[0];
   server->wake_write_fd_ = pipe_fds[1];
   server->start_ns_ = MonotonicNanos();
-  server->thread_ = std::thread(&ObsServer::Serve, server.get());
+  server->handler_threads_.reserve(options.handler_threads);
+  for (size_t i = 0; i < options.handler_threads; ++i) {
+    server->handler_threads_.emplace_back(&ObsServer::HandlerLoop,
+                                          server.get());
+  }
+  server->accept_thread_ = std::thread(&ObsServer::AcceptLoop, server.get());
   return server;
+}
+
+Result<std::unique_ptr<ObsServer>> ObsServer::Start(int port,
+                                                    int io_timeout_ms) {
+  ObsServerOptions options;
+  options.port = port;
+  options.io_timeout_ms = io_timeout_ms;
+  return Start(options);
 }
 
 ObsServer::~ObsServer() { Stop(); }
 
+void ObsServer::RegisterHandler(const std::string& method,
+                                const std::string& path,
+                                HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path][method] = std::move(handler);
+}
+
 void ObsServer::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) {
-    if (thread_.joinable()) thread_.join();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& t : handler_threads_) {
+      if (t.joinable()) t.join();
+    }
     return;
   }
-  // Wake the poll loop so the thread notices stop_ without a timeout.
+  // Wake the poll loop so the accept thread notices stop_ immediately.
   const char byte = 'q';
   (void)!::write(wake_write_fd_, &byte, 1);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Handler threads drain whatever was already accepted, then exit.
+  queue_cv_.notify_all();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
   net::CloseFd(listen_fd_);
   net::CloseFd(wake_read_fd_);
   net::CloseFd(wake_write_fd_);
@@ -222,7 +301,8 @@ bool ObsServer::WaitForQuit(int64_t timeout_ms) {
   return quit_requested();
 }
 
-void ObsServer::Serve() {
+void ObsServer::AcceptLoop() {
+  SetCurrentThreadName("http-accept");
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
@@ -236,69 +316,190 @@ void ObsServer::Serve() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    HandleConnection(conn);
-    net::CloseFd(conn);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() < options_.max_pending) {
+        pending_.push_back(conn);
+        queue_cv_.notify_one();
+        continue;
+      }
+    }
+    // Queue full: shed on the accept thread with a canned refusal. Fast,
+    // bounded by the io timeout, and it keeps memory flat under overload.
+    ShedConnection(conn);
+  }
+}
+
+void ObsServer::ShedConnection(int fd) {
+  shed_count_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* shed_total =
+      MetricsRegistry::Default().GetCounter("http.shed_total");
+  shed_total->Increment();
+  HttpResponse response;
+  response.status = 503;
+  response.content_type = "application/json";
+  response.body = StrFormat(
+      "{\"error\":\"overloaded\",\"detail\":\"pending queue full "
+      "(%zu)\"}\n", options_.max_pending);
+  response.headers.emplace_back(
+      "Retry-After",
+      StrFormat("%llu", static_cast<unsigned long long>(
+                            options_.retry_after_seconds)));
+  const std::string wire = RenderResponse(response);
+  (void)net::SendAll(fd, wire.data(), wire.size(), options_.io_timeout_ms);
+  ::shutdown(fd, SHUT_WR);
+  (void)net::RecvAll(fd, kMaxRequestBytes, options_.io_timeout_ms);
+  net::CloseFd(fd);
+}
+
+void ObsServer::HandlerLoop() {
+  SetCurrentThreadName("http-handler");
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) {
+        // stop_ set and nothing left to drain.
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+    net::CloseFd(fd);
   }
 }
 
 void ObsServer::HandleConnection(int fd) {
+  const int io_timeout_ms = options_.io_timeout_ms;
   // Per-connection read deadline: a silent or slow-loris client is dropped
-  // after io_timeout_ms_ instead of wedging the accept loop.
-  auto head = net::RecvHttpHead(fd, kMaxRequestBytes, io_timeout_ms_);
+  // after io_timeout_ms instead of wedging a handler thread for good.
+  auto head = net::RecvHttpHead(fd, kMaxRequestBytes, io_timeout_ms);
   if (!head.ok()) return;  // timeout / reset: nothing sensible to answer
   const std::string& text = head.value();
 
-  int http_status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-  if (text.find("\r\n\r\n") == std::string::npos) {
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  const size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
     // Request head hit the size cap (or the client half-closed) without a
     // terminating blank line: reject, don't guess.
-    http_status = 400;
-    body = StrFormat("request head exceeds %zu bytes or is unterminated\n",
-                     kMaxRequestBytes);
+    response.status = 400;
+    response.body =
+        StrFormat("request head exceeds %zu bytes or is unterminated\n",
+                  kMaxRequestBytes);
   } else {
     // Request line: METHOD SP TARGET SP VERSION.
     const size_t line_end = text.find("\r\n");
-    const std::string line =
-        line_end == std::string::npos ? text : text.substr(0, line_end);
+    const std::string line = text.substr(0, line_end);
     std::vector<std::string> parts = StrSplit(line, ' ');
-    std::string method = parts.size() > 0 ? parts[0] : "";
-    std::string target = parts.size() > 1 ? parts[1] : "/";
-    body = HandleRequest(method, target, &http_status, &content_type);
+    HttpRequest request;
+    request.method = parts.size() > 0 ? parts[0] : "";
+    const std::string target = parts.size() > 1 ? parts[1] : "/";
+    SplitTarget(target, &request.path, &request.query);
+
+    auto content_length = ContentLengthOf(text.substr(0, head_end));
+    if (!content_length.ok()) {
+      response.status = 400;
+      response.body = content_length.status().message() + "\n";
+    } else if (content_length.value() >
+               static_cast<int64_t>(options_.max_body_bytes)) {
+      response.status = 413;
+      response.body = StrFormat("request body exceeds %zu bytes\n",
+                                options_.max_body_bytes);
+    } else {
+      bool body_ok = true;
+      if (content_length.value() > 0) {
+        // RecvHttpHead may have read a prefix of the body past the blank
+        // line; take it, then read exactly the rest.
+        request.body = text.substr(head_end + 4);
+        const size_t want = static_cast<size_t>(content_length.value());
+        if (request.body.size() > want) {
+          request.body.resize(want);
+        } else if (request.body.size() < want) {
+          Status rest = net::RecvExact(fd, want - request.body.size(),
+                                       io_timeout_ms, &request.body);
+          if (!rest.ok()) body_ok = false;  // truncated: drop, don't guess
+        }
+      }
+      if (body_ok) response = Dispatch(request);
+      else return;
+    }
   }
 
-  std::string response = StrFormat(
-      "%s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      StatusLine(http_status).c_str(), content_type.c_str(), body.size());
-  response += body;
+  const std::string wire = RenderResponse(response);
   // Write deadline: a client that stops reading cannot park us in send().
-  (void)net::SendAll(fd, response.data(), response.size(), io_timeout_ms_);
+  (void)net::SendAll(fd, wire.data(), wire.size(), io_timeout_ms);
   ::shutdown(fd, SHUT_WR);
   // Drain whatever the client still sends so its write path never sees a
   // reset before it reads our response — but bounded: at most the request
   // cap, within the same deadline.
-  (void)net::RecvAll(fd, kMaxRequestBytes, io_timeout_ms_);
+  (void)net::RecvAll(fd, kMaxRequestBytes, io_timeout_ms);
 }
 
-std::string ObsServer::HandleRequest(const std::string& method,
-                                     const std::string& target,
-                                     int* http_status,
-                                     std::string* content_type) {
-  if (method != "GET") {
-    *http_status = 405;
-    return "only GET is supported\n";
-  }
-  std::string path, query;
-  SplitTarget(target, &path, &query);
+HttpResponse ObsServer::Dispatch(const HttpRequest& request) {
   // A scrape loop hitting every endpoint once a second would otherwise
   // bury the training output.
   const uint64_t request_number =
       request_count_.fetch_add(1, std::memory_order_relaxed) + 1;
   BOLTON_LOG_EVERY_N(kInfo, 100)
-      << "obs server request #" << request_number << ": " << path;
+      << "obs server request #" << request_number << ": " << request.method
+      << " " << request.path;
 
+  // Registered routes take precedence: the serve daemon owns its /v1
+  // namespace outright.
+  {
+    HttpHandler handler;
+    bool path_known = false;
+    std::string allow;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      auto by_path = handlers_.find(request.path);
+      if (by_path != handlers_.end()) {
+        path_known = true;
+        for (const auto& entry : by_path->second) {
+          if (!allow.empty()) allow += ", ";
+          allow += entry.first;
+        }
+        auto by_method = by_path->second.find(request.method);
+        if (by_method != by_path->second.end()) handler = by_method->second;
+      }
+    }
+    if (handler) return handler(request);
+    if (path_known) {
+      HttpResponse response;
+      response.status = 405;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body =
+          StrFormat("method %s not allowed for %s (allow: %s)\n",
+                    request.method.c_str(), request.path.c_str(),
+                    allow.c_str());
+      response.headers.emplace_back("Allow", allow);
+      return response;
+    }
+  }
+
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  if (request.method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported on built-in endpoints\n";
+    response.headers.emplace_back("Allow", "GET");
+    return response;
+  }
+  response.body = HandleBuiltin(request.path, request.query, &response.status,
+                                &response.content_type);
+  return response;
+}
+
+std::string ObsServer::HandleBuiltin(const std::string& path,
+                                     const std::string& query,
+                                     int* http_status,
+                                     std::string* content_type) {
   if (path == "/metrics") {
     // Prometheus scrapers key on this exact version tag. Memory and perf
     // gauges are polled on read: every scrape sees current values, not a

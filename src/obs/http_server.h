@@ -4,21 +4,67 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/result.h"
 
 namespace bolton {
 namespace obs {
 
-/// In-process observability endpoint: a dependency-free blocking-socket
-/// HTTP/1.0 server on a background thread, loopback only, serving the live
-/// state of the three telemetry pillars while the process runs.
+/// One parsed HTTP request as handed to a registered handler.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/v1/train" (query stripped)
+  std::string query;   // "tenant=t1&tail=5" (no leading '?')
+  std::string body;    // exactly Content-Length bytes ("" for bodyless)
+};
+
+/// A handler's answer. `headers` carries extras beyond Content-Type/Length
+/// (e.g. Retry-After).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Server shape. The defaults reproduce the historical observability
+/// server: one handler thread (requests strictly serialized), a small
+/// accepted-connection queue, GET-only built-in endpoints.
+struct ObsServerOptions {
+  /// 127.0.0.1:`port`; 0 = kernel-assigned ephemeral port.
+  int port = 0;
+  /// Per-connection read AND write deadline (poll-based), ms. Must be > 0.
+  int io_timeout_ms = 5000;
+  /// Concurrent request handlers. 1 keeps the classic strictly-serial obs
+  /// server; `boltondp serve` raises it to overlap independent tenants.
+  size_t handler_threads = 1;
+  /// Accepted connections waiting for a handler beyond this are shed
+  /// immediately with 503 + Retry-After instead of queuing without bound —
+  /// overload degrades to fast refusals, not to memory growth.
+  size_t max_pending = 16;
+  /// Largest accepted request body; bigger POSTs get 413.
+  size_t max_body_bytes = 1 << 20;
+  /// Advertised in the Retry-After header of shed responses.
+  uint64_t retry_after_seconds = 1;
+};
+
+/// In-process HTTP endpoint: a dependency-free HTTP/1.0 server on
+/// background threads, loopback only. Serves the live state of the
+/// telemetry pillars, plus any routes registered with RegisterHandler —
+/// the serve daemon mounts its /v1 API here.
 ///
-/// Endpoints (all GET):
+/// Built-in endpoints (all GET):
 ///   /metrics        Prometheus text exposition of the MetricsRegistry
 ///                   snapshot (cumulative buckets, _sum/_count, +Inf,
 ///                   derived p50/p95/p99 gauges).
@@ -38,29 +84,35 @@ namespace obs {
 ///   /quitquitquit   Asks the owner to stop lingering (see WaitForQuit);
 ///                   lets tests and operators end a --serve-obs run cleanly.
 ///
-/// Requests are handled one at a time on the server thread — a scrape is a
-/// snapshot + render, microseconds of work — so there is no connection
-/// pool to manage and the only concurrency is against the lock-free
-/// recording paths, which snapshots already tolerate.
+/// Concurrency: one accept thread feeds a bounded queue drained by
+/// `handler_threads` workers. Handlers race only against the lock-free
+/// telemetry recording paths (which snapshots tolerate) and whatever
+/// state registered handlers bring — those synchronize themselves.
 class ObsServer {
  public:
-  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
-  /// the serving thread. The server runs until Stop()/destruction.
-  ///
-  /// `io_timeout_ms` bounds each connection's read AND write phases
-  /// separately (poll-based deadlines): a client that connects and goes
-  /// silent, or stops reading the response, is dropped after the timeout
-  /// instead of wedging the single-threaded accept loop. Must be > 0 — an
-  /// operator endpoint never blocks forever on one peer.
+  static Result<std::unique_ptr<ObsServer>> Start(
+      const ObsServerOptions& options);
+
+  /// Historical signature; equivalent to Start({.port = port,
+  /// .io_timeout_ms = io_timeout_ms}).
   static Result<std::unique_ptr<ObsServer>> Start(int port,
                                                   int io_timeout_ms = 5000);
 
   ~ObsServer();
 
+  /// Mounts `handler` at exactly (`method`, `path`). A path with handlers
+  /// answers 405 (with an Allow header) for unregistered methods; built-in
+  /// paths stay GET-only. Registering over an existing (method, path)
+  /// replaces it. Thread-safe; callable before or after traffic starts.
+  void RegisterHandler(const std::string& method, const std::string& path,
+                       HttpHandler handler);
+
   /// The actually bound port (resolves port 0 requests).
   int port() const { return port_; }
 
-  /// Shuts the listener down and joins the thread. Idempotent.
+  /// Stops accepting, drains already-accepted connections, joins all
+  /// threads. Idempotent. Bounded: each drained connection is capped by
+  /// io_timeout_ms plus its handler's own runtime.
   void Stop();
 
   /// True once a /quitquitquit request has been served.
@@ -73,26 +125,43 @@ class ObsServer {
   /// long enough to be scraped without hanging forever.
   bool WaitForQuit(int64_t timeout_ms);
 
+  /// Connections refused with 503 because the pending queue was full.
+  uint64_t shed_count() const {
+    return shed_count_.load(std::memory_order_relaxed);
+  }
+
   ObsServer(const ObsServer&) = delete;
   ObsServer& operator=(const ObsServer&) = delete;
 
  private:
   ObsServer() = default;
 
-  void Serve();
+  void AcceptLoop();
+  void HandlerLoop();
   void HandleConnection(int fd);
-  std::string HandleRequest(const std::string& method,
-                            const std::string& target, int* http_status,
-                            std::string* content_type);
+  void ShedConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+  std::string HandleBuiltin(const std::string& path, const std::string& query,
+                            int* http_status, std::string* content_type);
 
+  ObsServerOptions options_;
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;   // self-pipe: Stop() wakes the poll loop
   int wake_write_fd_ = -1;
   int port_ = 0;
-  int io_timeout_ms_ = 5000;
   uint64_t start_ns_ = 0;
-  std::thread thread_;
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a handler
+
+  std::mutex handlers_mu_;
+  std::map<std::string, std::map<std::string, HttpHandler>> handlers_;
+
   std::atomic<uint64_t> request_count_{0};
+  std::atomic<uint64_t> shed_count_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> quit_{false};
   std::mutex quit_mu_;

@@ -31,13 +31,23 @@ struct LedgerEvent {
   /// events proper — plus the robustness audit trail: "fault" (an injected
   /// or real fault observed at a failpoint site), "retry" (a shard retried
   /// after a recoverable failure), "checkpoint" (pass-boundary state
-  /// persisted), "resume" (a run continued from a checkpoint).
+  /// persisted), "resume" (a run continued from a checkpoint) — plus the
+  /// serve budget lifecycle: "budget_reserve" (write-ahead hold before a
+  /// private release), "budget_commit" (hold converted to spend),
+  /// "budget_refund" (hold released, provably no noise drawn),
+  /// "budget_refusal" (request refused as over budget; accepted=false),
+  /// "budget_recover" (a pending hold found at restart, conservatively
+  /// promoted to spend).
   std::string kind;
   /// "laplace" | "gaussian" | "gaussian_per_step" | "" (charges).
   std::string mechanism;
   /// Call-site tag ("dp_noise.spherical_laplace", "bst14.per_step", …) or
   /// the accountant charge label.
   std::string label;
+  /// Owning tenant for multi-tenant serve traffic ("" for single-run CLI
+  /// events). Budget events (budget_reserve/commit/refund/refusal/recover)
+  /// always carry it, so a dump can be audited per account.
+  std::string tenant;
 
   double epsilon = 0.0;
   double delta = 0.0;

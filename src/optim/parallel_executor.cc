@@ -223,7 +223,10 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
     Rng jitter_rng(ShardSeed(seed_base ^ 0x626f6c746f6e6a74ull, j));
     Result<PsgdOutput> result = attempt_shard(j);
     for (size_t attempt = 2;
-         !result.ok() && attempt <= retry.max_attempts; ++attempt) {
+         !result.ok() &&
+         result.status().code() != StatusCode::kCancelled &&
+         attempt <= retry.max_attempts;
+         ++attempt) {
       SleepBeforeRetry(retry, attempt - 1, &jitter_rng);
       shard_retries->Increment();
       RecordRetryEvent("psgd.shard_retry", j, attempt, s);
@@ -320,6 +323,10 @@ Result<ShardedPsgdOutput> RunShardedPsgd(const Dataset& data,
   if (retry.max_attempts > 1) {
     for (size_t j = 0; j < s; ++j) {
       if (results[j].ok()) continue;
+      // A cancelled shard is not a failure to recover from: the caller
+      // withdrew the run. Retrying or re-dispatching would just burn time
+      // against a deadline that has already passed.
+      if (results[j].status().code() == StatusCode::kCancelled) continue;
       shard_redispatches->Increment();
       RecordRetryEvent("psgd.shard_redispatch", j, 1, s);
       run_shard(j);

@@ -6,6 +6,7 @@
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "random/permutation.h"
+#include "util/cancellation.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -133,6 +134,13 @@ Result<PsgdOutput> RunPsgd(
       order = RandomPermutation(m, rng);
     }
     for (size_t begin = 0; begin < m; begin += b) {
+      // Batch-boundary cancellation poll: a serve request whose deadline
+      // passed (or whose daemon is draining) abandons the run here, before
+      // any further work — and long before any noise draw.
+      if (options.executor.cancel != nullptr &&
+          options.executor.cancel->Cancelled()) {
+        return options.executor.cancel->Check("psgd run");
+      }
       const size_t batch_len =
           options.sampling == SamplingMode::kPermutation
               ? std::min(b, m - begin)

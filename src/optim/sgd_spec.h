@@ -8,6 +8,7 @@
 
 namespace bolton {
 
+class CancellationToken;
 class ThreadPool;
 
 /// Graceful degradation policy for shard workers.
@@ -62,6 +63,12 @@ struct ExecutorConfig {
   /// bit-identical to scalar). kAuto = use the process default. An
   /// unsupported tier fails the run with InvalidArgument.
   SimdTier simd = SimdTier::kAuto;
+  /// Cooperative cancellation (util/cancellation.h): the pass/batch loops
+  /// and the shard retry machinery poll it and abandon the run with
+  /// Status::Cancelled. nullptr = never cancelled. Like everything else
+  /// here it cannot change a released result — a cancelled run releases
+  /// nothing. The token must outlive the run.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Which hypothesis a run returns.

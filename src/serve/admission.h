@@ -1,0 +1,95 @@
+#ifndef BOLTON_SERVE_ADMISSION_H_
+#define BOLTON_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace bolton {
+namespace serve {
+
+class AdmissionController;
+
+/// Capacity limits for concurrently *executing* requests. The queue-side
+/// bound (accepted connections waiting for a handler) lives in
+/// obs::ObsServerOptions::max_pending; this layer caps what the handlers
+/// actually run at once.
+struct AdmissionOptions {
+  /// Requests executing across all tenants. Exceeding it means the daemon
+  /// is saturated → 503 + Retry-After (load shedding, not queuing).
+  size_t max_inflight = 8;
+  /// Requests executing for any single tenant. Exceeding it refuses just
+  /// that tenant with 429 (tenant_busy) while others proceed — one noisy
+  /// tenant cannot monopolize the worker pool.
+  size_t max_inflight_per_tenant = 2;
+};
+
+/// RAII admission slot: constructed only by AdmissionController::Admit,
+/// releases its slot on destruction (or explicit Release). Movable so the
+/// handler can carry it across the whole request.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept { *this = std::move(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  ~AdmissionTicket() { Release(); }
+
+  /// Frees the slot early. Idempotent.
+  void Release();
+
+  bool held() const { return controller_ != nullptr; }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, std::string tenant)
+      : controller_(controller), tenant_(std::move(tenant)) {}
+
+  AdmissionController* controller_ = nullptr;
+  std::string tenant_;
+};
+
+/// Per-tenant and global in-flight caps with refuse-fast semantics: Admit
+/// never blocks — over-capacity requests are refused immediately so the
+/// caller can shed load while it is still cheap to do so.
+///
+/// Error contract (the daemon maps these onto HTTP):
+///   OutOfRange          global cap hit ("overloaded")      → 503
+///   FailedPrecondition  per-tenant cap hit ("tenant_busy") → 429
+///   anything else       injected by the serve.admit failpoint → 503
+///
+/// Must outlive every ticket it issues.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Claims a slot for `tenant`, or refuses per the contract above.
+  Result<AdmissionTicket> Admit(const std::string& tenant);
+
+  size_t inflight() const;
+  size_t inflight(const std::string& tenant) const;
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+ private:
+  friend class AdmissionTicket;
+  void Release(const std::string& tenant);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  size_t total_inflight_ = 0;
+  std::map<std::string, size_t> tenant_inflight_;
+};
+
+}  // namespace serve
+}  // namespace bolton
+
+#endif  // BOLTON_SERVE_ADMISSION_H_

@@ -1,0 +1,24 @@
+#ifndef BOLTON_UTIL_ATOMIC_FILE_H_
+#define BOLTON_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace bolton {
+
+/// Crash-safe whole-file replacement: write `content` to `tmp_path`
+/// (created 0600), fsync, rename over `path`, then fsync `dir` so the
+/// rename itself is durable. After a crash at any point the destination
+/// holds either the old contents or the new, never a mix. Shared by the
+/// checkpoint writer and the serve budget store.
+Status AtomicWriteFile(const std::string& tmp_path, const std::string& path,
+                       const std::string& dir, const std::string& content);
+
+/// Reads a whole file into a string. NotFound when the path does not
+/// exist (distinguishes "no state yet" from real I/O failures).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_ATOMIC_FILE_H_

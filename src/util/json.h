@@ -1,0 +1,77 @@
+#ifndef BOLTON_UTIL_JSON_H_
+#define BOLTON_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bolton {
+
+/// A minimal JSON document model + recursive-descent parser for the serve
+/// request bodies. Scope is deliberately small: strict RFC 8259 input
+/// (no comments, no trailing commas, UTF-8 passed through opaquely except
+/// for \uXXXX escapes of BMP code points), a depth cap, and whole-input
+/// validation — trailing garbage after the document is an error. Writing
+/// JSON stays where it always was: StrFormat + JsonEscape.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors with defaults, for flat request bodies:
+  /// absent key -> `fallback`; present with the wrong type ->
+  /// InvalidArgument naming the key, so a handler can answer 400 with a
+  /// useful message instead of silently coercing.
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& fallback) const;
+  Result<double> GetNumber(const std::string& key, double fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document covering the whole input. InvalidArgument with
+/// byte offset on malformed input; nesting beyond 64 levels is rejected.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace bolton
+
+#endif  // BOLTON_UTIL_JSON_H_

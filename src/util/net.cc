@@ -1,6 +1,7 @@
 #include "util/net.h"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -156,6 +157,30 @@ Result<std::string> RecvHttpHead(int fd, size_t max_bytes, int timeout_ms) {
     out.append(buf, static_cast<size_t>(n));
   }
   return out;
+}
+
+Status RecvExact(int fd, size_t want, int timeout_ms, std::string* out) {
+  const Clock::time_point deadline = DeadlineFor(timeout_ms);
+  char buf[4096];
+  size_t got = 0;
+  while (got < want) {
+    BOLTON_ASSIGN_OR_RETURN(bool ready, WaitReady(fd, POLLIN, deadline));
+    if (!ready) return Status::IOError("recv timed out");
+    const size_t chunk = std::min(want - got, sizeof(buf));
+    ssize_t n = ::recv(fd, buf, chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      return Status::IOError(
+          StrFormat("connection closed %zu bytes short of the declared body",
+                    want - got));
+    }
+    out->append(buf, static_cast<size_t>(n));
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 }  // namespace net

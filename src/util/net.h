@@ -44,6 +44,12 @@ Result<std::string> RecvAll(int fd, size_t max_bytes, int timeout_ms = -1);
 Result<std::string> RecvHttpHead(int fd, size_t max_bytes,
                                  int timeout_ms = -1);
 
+/// Appends exactly `want` more bytes from `fd` to `*out`. Used to read a
+/// POST body after RecvHttpHead (which may already have consumed a body
+/// prefix past the blank line). IOError on timeout or premature EOF — a
+/// truncated body is never silently accepted.
+Status RecvExact(int fd, size_t want, int timeout_ms, std::string* out);
+
 /// close(2) ignoring EINTR; safe on -1.
 void CloseFd(int fd);
 

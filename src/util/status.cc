@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "not-implemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

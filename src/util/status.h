@@ -21,6 +21,10 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  /// The operation was abandoned before completion — the caller's deadline
+  /// passed or it asked for cancellation. Distinct from kIOError/kInternal:
+  /// nothing went wrong with the work itself, the caller stopped wanting it.
+  kCancelled = 8,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -74,6 +78,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

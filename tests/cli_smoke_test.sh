@@ -199,4 +199,103 @@ if "$CLI" frobnicate > /dev/null 2>&1; then
   exit 1
 fi
 
+# --- serve: the multi-tenant daemon end to end ------------------------------
+# Start on an ephemeral port with a persistent budget store, train within
+# budget, get refused beyond it, drain on SIGTERM, then restart and check
+# the spend survived the process.
+servedir="$WORKDIR/serve_state"
+mkdir -p "$servedir"
+"$CLI" serve --port 0 --state-dir "$servedir" \
+    --budget-epsilon 1.0 --budget-delta 1e-5 \
+    --ledger-out "$WORKDIR/serve.ledger.jsonl" \
+    > "$WORKDIR/serve.log" 2>&1 &
+serve_pid=$!
+
+serve_port=""
+i=0
+while [ $i -lt 100 ]; do
+  serve_port=$(sed -n 's/^serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/serve.log" | head -1)
+  [ -n "$serve_port" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -z "$serve_port" ]; then
+  echo "serve port line never appeared" >&2
+  cat "$WORKDIR/serve.log" >&2
+  exit 1
+fi
+
+# A private train inside the budget succeeds and names its model.
+"$CLI" call --port "$serve_port" --path /v1/train \
+    --body '{"tenant":"acme","algorithm":"bolton","epsilon":0.6,"delta":1e-6,"passes":2,"scale":0.02}' \
+    > "$WORKDIR/serve.train.json"
+grep -q '"model_id":"acme-1"' "$WORKDIR/serve.train.json"
+
+# The same charge again overdraws the ε=1 budget: 429 + structured body,
+# and the call subcommand's exit code reflects the refusal.
+if "$CLI" call --port "$serve_port" --path /v1/train \
+    --body '{"tenant":"acme","algorithm":"bolton","epsilon":0.6,"delta":1e-6,"passes":2,"scale":0.02}' \
+    > "$WORKDIR/serve.refused.json" 2> /dev/null; then
+  echo "over-budget train should have been refused" >&2
+  exit 1
+fi
+grep -q '"error":"budget_exhausted"' "$WORKDIR/serve.refused.json"
+grep -q '"tenant":"acme"' "$WORKDIR/serve.refused.json"
+
+# The budget endpoint shows the commit and the refusal.
+"$CLI" call --port "$serve_port" --method GET \
+    --path "/v1/budget?tenant=acme" > "$WORKDIR/serve.budget.json"
+grep -q '"spent_epsilon":0.6' "$WORKDIR/serve.budget.json"
+grep -q '"commits":1' "$WORKDIR/serve.budget.json"
+grep -q '"refusals":1' "$WORKDIR/serve.budget.json"
+
+# SIGTERM drains gracefully: clean exit, drain lines, ledger flushed.
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "serve did not exit cleanly on SIGTERM" >&2
+  cat "$WORKDIR/serve.log" >&2
+  exit 1
+fi
+grep -q "serve draining" "$WORKDIR/serve.log"
+grep -q "serve drained, exiting" "$WORKDIR/serve.log"
+
+# Every budget transition in the ledger is keyed by the tenant that caused
+# it — the per-tenant audit trail the multi-tenant daemon exists for.
+test -s "$WORKDIR/serve.ledger.jsonl"
+grep '"kind":"budget_reserve"' "$WORKDIR/serve.ledger.jsonl" \
+    | grep -q '"tenant":"acme"'
+grep '"kind":"budget_commit"' "$WORKDIR/serve.ledger.jsonl" \
+    | grep -q '"tenant":"acme"'
+grep '"kind":"budget_refusal"' "$WORKDIR/serve.ledger.jsonl" \
+    | grep -q '"tenant":"acme"'
+
+# Restart on the same state dir: the spend must have survived the process,
+# so the tenant is still refused.
+"$CLI" serve --port 0 --state-dir "$servedir" \
+    --budget-epsilon 1.0 --budget-delta 1e-5 \
+    > "$WORKDIR/serve2.log" 2>&1 &
+serve2_pid=$!
+serve_port=""
+i=0
+while [ $i -lt 100 ]; do
+  serve_port=$(sed -n 's/^serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/serve2.log" | head -1)
+  [ -n "$serve_port" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+test -n "$serve_port"
+"$CLI" call --port "$serve_port" --method GET \
+    --path "/v1/budget?tenant=acme" > "$WORKDIR/serve.budget2.json"
+grep -q '"spent_epsilon":0.6' "$WORKDIR/serve.budget2.json"
+if "$CLI" call --port "$serve_port" --path /v1/train \
+    --body '{"tenant":"acme","algorithm":"bolton","epsilon":0.6,"passes":1,"scale":0.02}' \
+    > /dev/null 2>&1; then
+  echo "restarted serve forgot the committed spend" >&2
+  exit 1
+fi
+kill -TERM "$serve2_pid"
+wait "$serve2_pid" || { echo "second serve did not drain" >&2; exit 1; }
+
 echo "cli smoke test passed (noiseless acc=$acc)"

@@ -6,15 +6,23 @@
 //   boltondp datagen  --dataset protein --scale 0.1 --out train.libsvm
 //   boltondp scrape   --port 9464 [--endpoint /metrics]
 //   boltondp profile  --port 9464 --seconds 2 [--format collapsed|json]
+//   boltondp serve    --port 8080 --state-dir /var/lib/boltondp
+//                     [--budget-epsilon 1 --budget-delta 1e-6] ...
+//   boltondp call     --port 8080 --path /v1/train --body '{"tenant":"t1"}'
 //   boltondp version
 //   boltondp postmortem finalize --dir crashdir
 //
 // `--data` accepts LIBSVM (default) or CSV (by .csv suffix); `--dataset`
 // generates one of the built-in synthetic stand-ins instead. Multiclass
 // datasets train one-vs-all automatically.
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -37,6 +45,7 @@
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "serve/daemon.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/net.h"
@@ -351,17 +360,29 @@ struct HttpGetReply {
   bool ok200 = false;
 };
 
-// Raw-TCP HTTP GET against a local obs server with a bounded retry loop:
+// Raw-TCP HTTP request against a local server with a bounded retry loop:
 // the server may still be binding (the smoke test races it) or wedged, so
 // refused connections and timeouts are retried kAttempts times with
 // exponential backoff plus jitter before declaring the request dead.
-// Shared by `scrape` and `profile`; exists so shell tests can talk to the
-// server without needing curl in the image.
-Result<HttpGetReply> HttpGetWithRetry(int64_t port, const std::string& path,
-                                      int io_timeout_ms) {
-  const std::string request = StrFormat(
-      "GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
-      path.c_str());
+// Shared by `scrape`, `profile`, and `call`; exists so shell tests can
+// talk to the server without needing curl in the image. Retrying a POST is
+// safe against THIS server: a connection that failed before the response
+// never reached a handler (requests are parsed before dispatch), and the
+// failure modes retried here are connect/timeout, not half-done work.
+Result<HttpGetReply> HttpCallWithRetry(int64_t port, const std::string& method,
+                                       const std::string& path,
+                                       const std::string& body,
+                                       int io_timeout_ms) {
+  std::string request = StrFormat(
+      "%s %s HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n",
+      method.c_str(), path.c_str());
+  if (!body.empty() || method == "POST") {
+    request += StrFormat("Content-Type: application/json\r\n"
+                         "Content-Length: %zu\r\n",
+                         body.size());
+  }
+  request += "\r\n";
+  request += body;
 
   constexpr int kAttempts = 3;
   constexpr int kBackoffBaseMs = 200;
@@ -418,6 +439,11 @@ Result<HttpGetReply> HttpGetWithRetry(int64_t port, const std::string& path,
   }
   reply.ok200 = reply.head.find(" 200 ") != std::string::npos;
   return reply;
+}
+
+Result<HttpGetReply> HttpGetWithRetry(int64_t port, const std::string& path,
+                                      int io_timeout_ms) {
+  return HttpCallWithRetry(port, "GET", path, "", io_timeout_ms);
 }
 
 // Prints the response body; exits non-zero unless the status line says 200.
@@ -557,6 +583,157 @@ int DataGen(int argc, char** argv) {
   return 0;
 }
 
+// SIGTERM/SIGINT latch for `serve`: the handler only sets a flag; the main
+// thread notices and runs the graceful drain outside signal context.
+std::atomic<bool> g_serve_stop{false};
+void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+// The multi-tenant daemon: mounts /v1/train, /v1/predict, /v1/aggregate,
+// /v1/budget (plus the whole obs surface: /metrics, /ledger, /healthz, ...)
+// and runs until SIGTERM/SIGINT or GET /quitquitquit, then drains in-flight
+// requests before exiting.
+int Serve(int argc, char** argv) {
+  int64_t port = 0;
+  std::string state_dir;
+  double budget_epsilon = 1.0, budget_delta = 1e-6, max_scale = 1.0;
+  int64_t handler_threads = 4, max_pending = 16;
+  int64_t max_inflight = 8, max_inflight_per_tenant = 2;
+  int64_t default_timeout_ms = 0, drain_timeout_ms = 5000;
+  int64_t training_threads = 0;
+  std::string ledger_out, log_jsonl;
+
+  FlagParser parser;
+  parser.AddInt("port", &port, "listen on 127.0.0.1:PORT (0 = ephemeral)");
+  parser.AddString("state-dir", &state_dir,
+                   "existing directory for the persisted per-tenant budget "
+                   "state (empty = in-memory only; spend dies with the "
+                   "process)");
+  parser.AddDouble("budget-epsilon", &budget_epsilon,
+                   "total epsilon granted to each new tenant");
+  parser.AddDouble("budget-delta", &budget_delta,
+                   "total delta granted to each new tenant");
+  parser.AddInt("handler-threads", &handler_threads,
+                "concurrent HTTP handler threads");
+  parser.AddInt("max-pending", &max_pending,
+                "accepted connections queued beyond this are shed with 503");
+  parser.AddInt("max-inflight", &max_inflight,
+                "requests executing at once across all tenants (503 beyond)");
+  parser.AddInt("max-inflight-per-tenant", &max_inflight_per_tenant,
+                "requests executing at once per tenant (429 beyond)");
+  parser.AddInt("default-timeout-ms", &default_timeout_ms,
+                "deadline for requests that send no timeout_ms (0 = none)");
+  parser.AddInt("drain-timeout-ms", &drain_timeout_ms,
+                "shutdown waits this long for in-flight requests before "
+                "cancelling their solver runs");
+  parser.AddInt("threads", &training_threads,
+                "worker-pool thread cap per training request (0 = auto)");
+  parser.AddDouble("max-scale", &max_scale,
+                   "largest synthetic-dataset scale a request may ask for");
+  parser.AddString("ledger-out", &ledger_out,
+                   "write the tenant-keyed privacy ledger as JSONL here on "
+                   "shutdown");
+  parser.AddString("log-jsonl", &log_jsonl,
+                   "also write every log event as structured JSONL to this "
+                   "file");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp serve");
+    return 0;
+  }
+
+  obs::SetCurrentThreadName("main");
+  if (!log_jsonl.empty()) OpenLogJsonlFile(log_jsonl).CheckOK();
+  // A daemon without its audit trail is not worth running: every pillar on.
+  obs::SetAllEnabled(true);
+  obs::InstallFailpointObsBridge();
+
+  serve::ServeOptions options;
+  options.port = static_cast<int>(port);
+  options.handler_threads = static_cast<size_t>(handler_threads);
+  options.max_pending = static_cast<size_t>(max_pending);
+  options.admission.max_inflight = static_cast<size_t>(max_inflight);
+  options.admission.max_inflight_per_tenant =
+      static_cast<size_t>(max_inflight_per_tenant);
+  options.budget.default_budget = PrivacyParams{budget_epsilon, budget_delta};
+  options.budget.state_dir = state_dir;
+  options.default_timeout_ms = static_cast<uint64_t>(default_timeout_ms);
+  options.drain_timeout_ms = static_cast<uint64_t>(drain_timeout_ms);
+  options.max_training_threads = static_cast<size_t>(training_threads);
+  options.max_dataset_scale = max_scale;
+
+  auto daemon = serve::ServeDaemon::Start(options);
+  daemon.status().CheckOK();
+
+  struct sigaction action = {};
+  action.sa_handler = ServeSignalHandler;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("serve listening on 127.0.0.1:%d\n", daemon.value()->port());
+  std::fflush(stdout);
+
+  while (!g_serve_stop.load(std::memory_order_relaxed) &&
+         !daemon.value()->server().quit_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("serve draining...\n");
+  std::fflush(stdout);
+  daemon.value()->Shutdown();
+  if (!ledger_out.empty()) {
+    obs::PrivacyLedger::Default().WriteJsonl(ledger_out).CheckOK();
+    std::printf("wrote %zu ledger events -> %s\n",
+                obs::PrivacyLedger::Default().size(), ledger_out.c_str());
+  }
+  std::printf("serve drained, exiting\n");
+  return 0;
+}
+
+// One HTTP request against a running daemon — the curl stand-in the smoke
+// tests (and quick-start examples) drive the /v1 API with.
+int Call(int argc, char** argv) {
+  int64_t port = 0;
+  int64_t timeout_ms = 30000;
+  std::string method = "POST", path = "/v1/train", body, body_file;
+  FlagParser parser;
+  parser.AddInt("port", &port, "daemon port on 127.0.0.1");
+  parser.AddString("method", &method, "HTTP method (GET|POST)");
+  parser.AddString("path", &path, "request path, e.g. /v1/train");
+  parser.AddString("body", &body, "JSON request body");
+  parser.AddString("body-file", &body_file,
+                   "read the request body from this file instead");
+  parser.AddInt("timeout-ms", &timeout_ms, "per-attempt IO deadline");
+  parser.Parse(argc, argv).CheckOK();
+  if (parser.help_requested()) {
+    parser.PrintHelp("boltondp call");
+    return 0;
+  }
+  if (!body_file.empty()) {
+    std::ifstream in(body_file);
+    if (!in) {
+      std::fprintf(stderr, "call: cannot read %s\n", body_file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    body = buffer.str();
+  }
+
+  auto reply =
+      HttpCallWithRetry(port, method, path, body, static_cast<int>(timeout_ms));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "call: %s\n", reply.status().message().c_str());
+    return 1;
+  }
+  // Status line to stderr (diagnostics), body to stdout (data): scripts can
+  // pipe the JSON while still seeing the HTTP outcome.
+  const size_t eol = reply.value().head.find("\r\n");
+  std::fprintf(stderr, "%s\n",
+               reply.value().head.substr(0, eol).c_str());
+  std::printf("%s", reply.value().body.c_str());
+  return reply.value().ok200 ? 0 : 1;
+}
+
 int Version() {
   std::printf("%s\n", obs::BuildInfoSummaryLine().c_str());
   return 0;
@@ -592,8 +769,8 @@ int Postmortem(int argc, char** argv) {
 int Usage() {
   std::printf(
       "boltondp — bolt-on differentially private SGD analytics\n"
-      "usage: boltondp <train|evaluate|datagen|scrape|profile|version|"
-      "postmortem> [flags]\n"
+      "usage: boltondp <train|evaluate|datagen|serve|call|scrape|profile|"
+      "version|postmortem> [flags]\n"
       "       boltondp <command> --help for per-command flags\n");
   return 1;
 }
@@ -610,6 +787,8 @@ int Main(int argc, char** argv) {
   if (command == "train") return Train(sub_argc, sub_argv);
   if (command == "evaluate") return Evaluate(sub_argc, sub_argv);
   if (command == "datagen") return DataGen(sub_argc, sub_argv);
+  if (command == "serve") return Serve(sub_argc, sub_argv);
+  if (command == "call") return Call(sub_argc, sub_argv);
   if (command == "scrape") return Scrape(sub_argc, sub_argv);
   if (command == "profile") return Profile(sub_argc, sub_argv);
   if (command == "version") return Version();

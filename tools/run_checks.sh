@@ -47,7 +47,7 @@ CLI="$BUILD/tools/boltondp"
 # Every ledger line must be one JSON object carrying the full event schema.
 awk '
   !/^\{"seq":[0-9]+,/ || !/\}$/ { bad = 1 }
-  !/"kind":"(noise_draw|accountant_charge|calibration|fault|retry|checkpoint|resume)"/ { bad = 1 }
+  !/"kind":"(noise_draw|accountant_charge|calibration|fault|retry|checkpoint|resume|budget_reserve|budget_commit|budget_refund|budget_refusal|budget_recover)"/ { bad = 1 }
   !/"epsilon":/ || !/"sensitivity":/ || !/"noise_norm":/ { bad = 1 }
   !/"rng_fingerprint":/ || !/"accepted":(true|false)/ { bad = 1 }
   bad { print "malformed ledger line " NR ": " $0; exit 1 }
@@ -201,6 +201,64 @@ grep -q '"kind":"checkpoint"' "$WORKDIR/fault_ledger.jsonl"
 [ "$(grep -c '"kind":"noise_draw"' "$WORKDIR/fault_ledger.jsonl")" -eq 1 ]
 [ ! -f "$CKPT/bolton.ckpt" ] || { echo "checkpoint not cleaned up"; exit 1; }
 
+echo "== serve chaos pass (crash between charge and persist, sanitized) =="
+# The exactly-once-spend crash test the budget protocol exists for: a panic
+# failpoint kills the daemon at the commit persist — after the in-memory
+# charge, before the disk write, the worst possible instant. The state file
+# still shows the write-ahead hold, so the restarted daemon must promote it
+# to spend (once), leave the tenant charged, and say so on its ledger.
+SERVEDIR="$WORKDIR/serve_state"
+mkdir -p "$SERVEDIR"
+BOLTON_FAILPOINTS="serve.budget_commit:panic@1" "$CLI" serve --port 0 \
+    --state-dir "$SERVEDIR" --budget-epsilon 1.0 --budget-delta 1e-5 \
+    > "$WORKDIR/serve_crash.log" 2>&1 &
+serve_pid=$!
+i=0
+serve_port=""
+while [ $i -lt 300 ]; do
+  serve_port=$(sed -n 's/^serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/serve_crash.log" | head -1)
+  [ -n "$serve_port" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$serve_port" ] || { cat "$WORKDIR/serve_crash.log"; exit 1; }
+# The train itself dies with the daemon; only the crash matters here.
+"$CLI" call --port "$serve_port" --path /v1/train \
+    --body '{"tenant":"acme","algorithm":"bolton","epsilon":0.3,"delta":1e-6,"passes":1,"scale":0.02}' \
+    > /dev/null 2>&1 || true
+if wait "$serve_pid" 2> /dev/null; then
+  echo "serve survived an armed commit panic"; exit 1
+fi
+# Restart on the same state: the pending hold must promote to spend.
+"$CLI" serve --port 0 --state-dir "$SERVEDIR" \
+    --budget-epsilon 1.0 --budget-delta 1e-5 \
+    --ledger-out "$WORKDIR/serve_recover.ledger.jsonl" \
+    > "$WORKDIR/serve_recover.log" 2>&1 &
+serve_pid=$!
+i=0
+serve_port=""
+while [ $i -lt 300 ]; do
+  serve_port=$(sed -n 's/^serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/serve_recover.log" | head -1)
+  [ -n "$serve_port" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$serve_port" ] || { cat "$WORKDIR/serve_recover.log"; exit 1; }
+"$CLI" call --port "$serve_port" --method GET \
+    --path "/v1/budget?tenant=acme" > "$WORKDIR/serve_recover.budget.json"
+grep -q '"spent_epsilon":0.3' "$WORKDIR/serve_recover.budget.json" \
+    || { echo "crash forgot the charged spend"; \
+         cat "$WORKDIR/serve_recover.budget.json"; exit 1; }
+grep -q '"recovered":1' "$WORKDIR/serve_recover.budget.json" \
+    || { echo "hold was not promoted exactly once"; \
+         cat "$WORKDIR/serve_recover.budget.json"; exit 1; }
+grep -q "promoted 1 pending budget hold" "$WORKDIR/serve_recover.log"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "recovered serve did not drain"; exit 1; }
+grep '"kind":"budget_recover"' "$WORKDIR/serve_recover.ledger.jsonl" \
+    | grep -q '"tenant":"acme"' \
+    || { echo "no tenant-keyed budget_recover ledger event"; exit 1; }
+
 echo "== postmortem pass (failpoint-panic'd train leaves a crash report) =="
 # A train killed mid-run by an armed panic failpoint must leave a raw crash
 # dump that `boltondp postmortem finalize` turns into a schema-valid
@@ -244,9 +302,10 @@ cmake --build "$TSAN_BUILD" -j \
   -t obs_metrics_test -t obs_ledger_test -t obs_export_test -t obs_http_test \
   -t profiler_test -t perf_counters_test -t thread_pool_test \
   -t parallel_executor_test -t solver_test -t failpoint_test \
-  -t checkpoint_test -t logging_test -t postmortem_test
+  -t checkpoint_test -t logging_test -t postmortem_test \
+  -t serve_budget_test -t serve_chaos_test -t serve_daemon_test
 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|thread_pool|parallel_executor|solver|failpoint|checkpoint|logging|postmortem)_test$'
+  -R '^(obs_(metrics|ledger|export|http)|profiler|perf_counters|thread_pool|parallel_executor|solver|failpoint|checkpoint|logging|postmortem|serve_(budget|chaos|daemon))_test$'
 
 echo "== bench regression gate (parallel scaling vs BENCH_PR9.json) =="
 # Gate only when python3 and the baseline are available (the baseline rows
@@ -285,6 +344,21 @@ EOF
       --threshold 0.75
 else
   echo "skipped (python3 or BENCH_PR9.json missing)"
+fi
+
+echo "== bench regression gate (serve throughput vs BENCH_PR10.json) =="
+# Same contract as above for the serve daemon: catch order-of-magnitude
+# request-rate collapses, absorb host-to-host (and run-to-run; the daemon
+# numbers are the noisiest in the suite) variance.
+if command -v python3 > /dev/null 2>&1 && [ -f "$ROOT/BENCH_PR10.json" ]; then
+  cmake --build "$PRIMARY_BUILD" -j -t bench_serve_throughput
+  "$PRIMARY_BUILD/bench/bench_serve_throughput" \
+      --json-out "$WORKDIR/serve_throughput.json" > /dev/null 2>&1
+  python3 "$ROOT/tools/benchdiff.py" diff \
+      "$ROOT/BENCH_PR10.json" "$WORKDIR/serve_throughput.json" \
+      --threshold 0.75
+else
+  echo "skipped (python3 or BENCH_PR10.json missing)"
 fi
 
 echo "all checks passed"
